@@ -1,0 +1,103 @@
+// Regenerates Figures 3 and 4 (§2.2-2.3) as data series:
+//   Figure 3 — task lines IO_i(x) = C_i * x against the (N, B) rectangle,
+//     the classification of each task, and its maximum parallelism;
+//   Figure 4 — the IO-CPU balance point for IO-bound x CPU-bound pairs,
+//     with and without the effective-bandwidth (seek interference) model;
+// plus the §2.3 bandwidth-degradation curve between two sequential
+// streams.
+
+#include <cstdio>
+
+#include "sched/balance.h"
+#include "sched/cost.h"
+#include "util/stats.h"
+#include "util/str.h"
+
+namespace xprs {
+namespace {
+
+TaskProfile Task(TaskId id, double rate, IoPattern pattern) {
+  TaskProfile t;
+  t.id = id;
+  t.seq_time = 10.0;
+  t.total_ios = rate * 10.0;
+  t.pattern = pattern;
+  return t;
+}
+
+void Run() {
+  MachineConfig m = MachineConfig::PaperConfig();
+  std::printf("Figures 3 & 4: task classification and IO-CPU balance points\n");
+  std::printf("%s\n\n", m.ToString().c_str());
+
+  // ---- Figure 3: task lines against the (N, B) rectangle.
+  std::printf("Figure 3 — io rate lines IO_i(x) = C_i*x, rectangle N=%d, "
+              "B=%.0f, diagonal slope B/N=%.0f:\n",
+              m.num_cpus, m.nominal_bandwidth(), m.io_cpu_threshold());
+  TextTable fig3({"C_i (io/s)", "pattern", "class", "maxp", "IO at maxp"});
+  const double rates[] = {5, 10, 20, 30, 35, 45, 60, 70};
+  for (double rate : rates) {
+    for (IoPattern pattern : {IoPattern::kSequential, IoPattern::kRandom}) {
+      if (pattern == IoPattern::kRandom && rate < 30) continue;
+      TaskProfile t = Task(0, rate, pattern);
+      double maxp = MaxParallelism(t, m);
+      fig3.AddRow({StrFormat("%.0f", rate), IoPatternName(pattern),
+                   IsIoBound(t, m) ? "IO-bound" : "CPU-bound",
+                   StrFormat("%.2f", maxp),
+                   StrFormat("%.0f", rate * maxp)});
+    }
+  }
+  std::printf("%s\n", fig3.ToString().c_str());
+
+  // ---- §2.3 effective bandwidth between two sequential streams.
+  std::printf("Section 2.3 — effective bandwidth of two concurrent "
+              "sequential streams (u, v io/s demanded):\n");
+  TextTable blend({"split u:v", "ratio", "B_eff (io/s)"});
+  for (double u : {240.0, 200.0, 160.0, 120.0, 80.0, 40.0, 10.0}) {
+    double v = 240.0 - u;
+    std::vector<IoStream> streams = {{u, IoPattern::kSequential, 3.0},
+                                     {v, IoPattern::kSequential, 3.0}};
+    double ratio = (u < v ? u / v : (u > 0 ? v / u : 0.0));
+    blend.AddRow({StrFormat("%.0f:%.0f", u, v), StrFormat("%.2f", ratio),
+                  StrFormat("%.0f", EffectiveBandwidth(m, streams))});
+  }
+  std::printf("%s\n", blend.ToString().c_str());
+
+  // ---- Figure 4: balance points across the rate grid.
+  std::printf("Figure 4 — IO-CPU balance points (x_i + x_j = N, "
+              "C_i x_i + C_j x_j = B_eff):\n");
+  TextTable fig4({"C_io", "C_cpu", "pattern", "x_io", "x_cpu", "B_eff",
+                  "T_inter/T_intra"});
+  for (double cio : {35.0, 45.0, 60.0, 70.0}) {
+    for (double ccpu : {5.0, 10.0, 20.0, 29.0}) {
+      for (IoPattern pio : {IoPattern::kSequential, IoPattern::kRandom}) {
+        TaskProfile ti = Task(1, cio, pio);
+        TaskProfile tj = Task(2, ccpu, IoPattern::kSequential);
+        BalancePoint bp = SolveBalance(ti, tj, m, true);
+        if (!bp.valid) continue;
+        InterCost ic = TInter(ti, tj, m, true);
+        double serial = TIntra(ti, m) + TIntra(tj, m);
+        fig4.AddRow({StrFormat("%.0f", cio), StrFormat("%.0f", ccpu),
+                     IoPatternName(pio), StrFormat("%.2f", bp.xi),
+                     StrFormat("%.2f", bp.xj),
+                     StrFormat("%.0f", bp.effective_bandwidth),
+                     ic.valid ? StrFormat("%.2f", ic.t_inter / serial)
+                              : std::string("-")});
+      }
+    }
+  }
+  std::printf("%s\n", fig4.ToString().c_str());
+  std::printf(
+      "reading: T_inter/T_intra < 1 means pairing at the balance point\n"
+      "beats serial intra-only execution — true across the grid, with the\n"
+      "smallest wins where seek interference (sequential pairs near even\n"
+      "io splits) erodes the effective bandwidth.\n");
+}
+
+}  // namespace
+}  // namespace xprs
+
+int main() {
+  xprs::Run();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Regenerates Figure 7 of the paper: turnaround time of the four §3
+// workloads (All CPU, All IO, Extreme mix, Random mix) under the three
+// scheduling algorithms (INTRA-ONLY, INTER-WITHOUT-ADJ, INTER-WITH-ADJ) on
+// the simulated Sequent Symmetry (8 CPUs used, 4 disks, B = 240 io/s).
+//
+// Expected shape (paper §3): all three algorithms roughly tie on the
+// homogeneous workloads; on mixed workloads INTER-WITH-ADJ improves on
+// INTRA-ONLY by up to ~25%, while INTER-WITHOUT-ADJ loses to INTRA-ONLY
+// because a task can be stuck at low parallelism after its partner ends.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "sim/fluid_sim.h"
+#include "util/check.h"
+#include "util/stats.h"
+#include "util/str.h"
+#include "workload/relations.h"
+#include "workload/tasks.h"
+
+namespace xprs {
+namespace {
+
+constexpr int kTrials = 25;
+
+double RunOne(const MachineConfig& machine, SchedPolicy policy,
+              const std::vector<TaskProfile>& tasks) {
+  SchedulerOptions so;
+  so.policy = policy;
+  AdaptiveScheduler sched(machine, so);
+  FluidSimulator sim(machine, SimOptions());
+  return sim.Run(&sched, tasks).elapsed;
+}
+
+void Run() {
+  MachineConfig machine = MachineConfig::PaperConfig();
+  std::printf("Figure 7: turnaround time (s) of scheduling algorithms\n");
+  std::printf("%s\n", machine.ToString().c_str());
+  std::printf("workloads: 10 tasks each, %d random trials, mean reported\n\n",
+              kTrials);
+
+  const WorkloadKind kinds[] = {
+      WorkloadKind::kAllCpuBound, WorkloadKind::kAllIoBound,
+      WorkloadKind::kExtremeMix, WorkloadKind::kRandomMix};
+  const SchedPolicy policies[] = {SchedPolicy::kIntraOnly,
+                                  SchedPolicy::kInterWithoutAdj,
+                                  SchedPolicy::kInterWithAdj};
+
+  TextTable table({"Workload", "INTRA-ONLY", "INTER-W/O-ADJ", "INTER-W/-ADJ",
+                   "with-adj gain"});
+  for (WorkloadKind kind : kinds) {
+    RunningStat stats[3];
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(1000 + trial);
+      WorkloadOptions wo;
+      auto tasks = MakeWorkload(kind, wo, &rng);
+      for (int p = 0; p < 3; ++p)
+        stats[p].Add(RunOne(machine, policies[p], tasks));
+    }
+    double gain =
+        (stats[0].mean() - stats[2].mean()) / stats[0].mean() * 100.0;
+    table.AddRow({WorkloadKindName(kind),
+                  StrFormat("%.1f +-%.1f", stats[0].mean(), stats[0].stddev()),
+                  StrFormat("%.1f +-%.1f", stats[1].mean(), stats[1].stddev()),
+                  StrFormat("%.1f +-%.1f", stats[2].mean(), stats[2].stddev()),
+                  StrFormat("%+.1f%%", gain)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // ---- Physical variant: the ten tasks are real relations built with
+  // tuple-size-controlled io rates; their TaskProfiles come from *metering
+  // actual scans* over the striped array, not from the analytic generator.
+  std::printf("Figure 7 (physical relations, measured task profiles, one "
+              "workload draw):\n");
+  DiskArray array(machine.num_disks, DiskMode::kInstant);
+  Catalog catalog(&array);
+  Rng rng(4242);
+
+  TextTable phys({"Workload", "INTRA-ONLY", "INTER-W/O-ADJ", "INTER-W/-ADJ",
+                  "with-adj gain"});
+  struct Band {
+    double lo, hi;
+  };
+  auto make_physical = [&](WorkloadKind kind) {
+    std::vector<TaskProfile> tasks;
+    for (int i = 0; i < 10; ++i) {
+      Band band{0, 0};
+      switch (kind) {
+        case WorkloadKind::kAllCpuBound:
+          band = {5, 30};
+          break;
+        case WorkloadKind::kAllIoBound:
+          band = {31, 60};
+          break;
+        case WorkloadKind::kExtremeMix:
+          band = (i % 2 == 0) ? Band{60, 70} : Band{5, 15};
+          break;
+        case WorkloadKind::kRandomMix:
+          band = {5, 70};
+          break;
+      }
+      double rate = rng.NextDouble(band.lo, band.hi);
+      int width = TextWidthForIoRate(rate);
+      // Size the relation so the metered sequential time lands in the
+      // same 4-30 s band as the analytic workloads:
+      // pages = rate * T, tuples = pages * tuples-per-page.
+      double target_time = rng.NextDouble(4.0, 30.0);
+      double tpp_est =
+          static_cast<double>(MaxTuplePayload()) / (width + 14.0);
+      uint64_t tuples = static_cast<uint64_t>(
+          std::max(1.0, rate * target_time * std::max(1.0, tpp_est)));
+      tuples = std::min<uint64_t>(tuples, 60000);
+      auto table_or = BuildRelation(
+          &catalog,
+          StrFormat("w%d_%d_%lld", static_cast<int>(kind), i,
+                    static_cast<long long>(rng.Next() & 0xffff)),
+          tuples, width, 5000, &rng);
+      XPRS_CHECK_OK(table_or.status());
+      auto measured = MeasureSeqScan(table_or.value());
+      XPRS_CHECK_OK(measured.status());
+      TaskProfile t = ToTaskProfile(*measured, i, StrFormat("phys%d", i),
+                                    IoPattern::kSequential);
+      tasks.push_back(std::move(t));
+    }
+    return tasks;
+  };
+
+  for (WorkloadKind kind : kinds) {
+    auto tasks = make_physical(kind);
+    double results[3];
+    for (int p = 0; p < 3; ++p)
+      results[p] = RunOne(machine, policies[p], tasks);
+    double gain = (results[0] - results[2]) / results[0] * 100.0;
+    phys.AddRow({WorkloadKindName(kind), StrFormat("%.1f", results[0]),
+                 StrFormat("%.1f", results[1]),
+                 StrFormat("%.1f", results[2]),
+                 StrFormat("%+.1f%%", gain)});
+  }
+  std::printf("%s\n", phys.ToString().c_str());
+  std::printf(
+      "paper reference: ~parity on All CPU / All IO; INTER-WITH-ADJ up to\n"
+      "~25%% faster than INTRA-ONLY on the mixed workloads;\n"
+      "INTER-WITHOUT-ADJ at or below INTRA-ONLY.\n");
+}
+
+}  // namespace
+}  // namespace xprs
+
+int main() {
+  xprs::Run();
+  return 0;
+}

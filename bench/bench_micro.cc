@@ -1,0 +1,173 @@
+// Component micro-benchmarks (google-benchmark): storage primitives,
+// B+tree, operators, the balance-point solver, and the scheduler decision
+// path. These are throughput sanity checks for the substrates, not paper
+// figures.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/executor.h"
+#include "opt/cost_model.h"
+#include "sched/cost.h"
+#include "sim/fluid_sim.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "util/rng.h"
+#include "workload/tasks.h"
+
+namespace xprs {
+namespace {
+
+void BM_PageAddTuple(benchmark::State& state) {
+  const uint8_t data[64] = {};
+  for (auto _ : state) {
+    Page page;
+    while (page.AddTuple(data, sizeof(data)).ok()) {
+    }
+    benchmark::DoNotOptimize(page.num_tuples());
+  }
+}
+BENCHMARK(BM_PageAddTuple);
+
+void BM_TupleSerializeRoundTrip(benchmark::State& state) {
+  Schema schema = Schema::PaperSchema();
+  Tuple t({Value(int32_t{42}), Value(std::string(64, 'x'))});
+  for (auto _ : state) {
+    std::vector<uint8_t> bytes;
+    (void)t.Serialize(schema, &bytes);
+    auto back = Tuple::Deserialize(schema, bytes.data(),
+                                   static_cast<uint16_t>(bytes.size()));
+    benchmark::DoNotOptimize(back.ok());
+  }
+}
+BENCHMARK(BM_TupleSerializeRoundTrip);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BTreeIndex tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i)
+      tree.Insert(static_cast<int32_t>(rng.NextInt(0, 1 << 20)),
+                  TupleId{static_cast<uint32_t>(i), 0});
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  BTreeIndex tree;
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i)
+    tree.Insert(static_cast<int32_t>(rng.NextInt(0, 1 << 20)),
+                TupleId{static_cast<uint32_t>(i), 0});
+  for (auto _ : state) {
+    auto hits = tree.Lookup(static_cast<int32_t>(rng.NextInt(0, 1 << 20)));
+    benchmark::DoNotOptimize(hits.size());
+  }
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  DiskArray array(4, DiskMode::kInstant);
+  for (int i = 0; i < 64; ++i) array.AllocateBlock();
+  BufferPool pool(&array, 128);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto h = pool.Fetch(static_cast<BlockId>(rng.NextUint64(64)));
+    benchmark::DoNotOptimize(h.ok());
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+struct HashJoinFixture {
+  HashJoinFixture() : array(4, DiskMode::kInstant), catalog(&array) {
+    Rng rng(4);
+    left = catalog.CreateTable("l", Schema::PaperSchema()).value();
+    right = catalog.CreateTable("r", Schema::PaperSchema()).value();
+    for (int i = 0; i < 5000; ++i) {
+      (void)left->file().Append(
+          Tuple({Value(static_cast<int32_t>(rng.NextInt(0, 999))),
+                 Value(std::string(16, 'l'))}));
+    }
+    for (int i = 0; i < 1000; ++i) {
+      (void)right->file().Append(
+          Tuple({Value(static_cast<int32_t>(rng.NextInt(0, 999))),
+                 Value(std::string(16, 'r'))}));
+    }
+    (void)left->file().Flush();
+    (void)right->file().Flush();
+    (void)left->ComputeStats();
+    (void)right->ComputeStats();
+  }
+  DiskArray array;
+  Catalog catalog;
+  Table* left;
+  Table* right;
+};
+
+void BM_HashJoinExecute(benchmark::State& state) {
+  static HashJoinFixture* fixture = new HashJoinFixture();
+  auto plan = MakeHashJoin(MakeSeqScan(fixture->left, Predicate()),
+                           MakeSeqScan(fixture->right, Predicate()), 0, 0);
+  ExecContext ctx;
+  for (auto _ : state) {
+    auto rows = ExecutePlanSequential(*plan, ctx);
+    benchmark::DoNotOptimize(rows->size());
+  }
+}
+BENCHMARK(BM_HashJoinExecute);
+
+void BM_BalancePointSolver(benchmark::State& state) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TaskProfile ti;
+  ti.id = 1;
+  ti.seq_time = 10;
+  ti.total_ios = 650;
+  ti.pattern = IoPattern::kSequential;
+  TaskProfile tj;
+  tj.id = 2;
+  tj.seq_time = 10;
+  tj.total_ios = 80;
+  tj.pattern = IoPattern::kSequential;
+  for (auto _ : state) {
+    BalancePoint bp = SolveBalance(ti, tj, m, true);
+    benchmark::DoNotOptimize(bp.xi);
+  }
+}
+BENCHMARK(BM_BalancePointSolver);
+
+void BM_SchedulerFullWorkload(benchmark::State& state) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  Rng rng(5);
+  WorkloadOptions wo;
+  auto tasks = MakeWorkload(WorkloadKind::kExtremeMix, wo, &rng);
+  for (auto _ : state) {
+    SchedulerOptions so;
+    AdaptiveScheduler sched(m, so);
+    FluidSimulator sim(m, SimOptions());
+    SimResult r = sim.Run(&sched, tasks);
+    benchmark::DoNotOptimize(r.elapsed);
+  }
+}
+BENCHMARK(BM_SchedulerFullWorkload);
+
+void BM_CostModelFourWayEstimate(benchmark::State& state) {
+  static HashJoinFixture* fixture = new HashJoinFixture();
+  auto plan = MakeHashJoin(
+      MakeHashJoin(MakeSeqScan(fixture->left, Predicate()),
+                   MakeSeqScan(fixture->right, Predicate()), 0, 0),
+      MakeSeqScan(fixture->right, Predicate()), 0, 0);
+  CostModel model;
+  for (auto _ : state) {
+    PlanEstimate est = model.Estimate(*plan);
+    benchmark::DoNotOptimize(est.seq_time);
+  }
+}
+BENCHMARK(BM_CostModelFourWayEstimate);
+
+}  // namespace
+}  // namespace xprs
+
+BENCHMARK_MAIN();

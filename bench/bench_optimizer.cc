@@ -1,0 +1,208 @@
+// Regenerates the §4 optimizer study (no figure in the paper; the section
+// claims):
+//   1. in a single-user environment, bushy plans with inter-operation
+//      parallelism can beat the best left-deep plan once cost is measured
+//      as parcost(p, n) = T_n(F(p));
+//   2. the parcost-optimal plan can differ from the seqcost-optimal one
+//      (local pruning is unsound);
+//   3. in a multi-user environment, intra-only-optimized plans from
+//      different queries reach full utilization through the scheduler.
+// Uses physical relations over the simulated disk array; parcost is the
+// elapsed time of the fragment schedule under the adaptive algorithm.
+
+#include <cstdio>
+
+#include "opt/two_phase.h"
+#include "sim/fluid_sim.h"
+#include "util/stats.h"
+#include "util/str.h"
+#include "workload/relations.h"
+
+namespace xprs {
+namespace {
+
+struct Database {
+  std::unique_ptr<DiskArray> array;
+  std::unique_ptr<Catalog> catalog;
+  std::vector<Table*> tables;
+};
+
+Database BuildDatabase() {
+  Database db;
+  db.array = std::make_unique<DiskArray>(4, DiskMode::kInstant);
+  db.catalog = std::make_unique<Catalog>(db.array.get());
+  Rng rng(77);
+  struct Spec {
+    const char* name;
+    uint64_t tuples;
+    double rate;  // io rate of a full sequential scan
+  } specs[] = {
+      {"fat_big", 900, 65.0},     // wide tuples: io-heavy scans
+      {"fat_mid", 500, 55.0},     //
+      {"thin_big", 4000, 7.0},    // narrow tuples: cpu-heavy scans
+      {"thin_mid", 2500, 10.0},   //
+      {"small", 400, 25.0},       //
+  };
+  for (const auto& s : specs) {
+    int width = TextWidthForIoRate(s.rate);
+    auto t = BuildRelation(db.catalog.get(), s.name, s.tuples, width,
+                           /*key_range=*/300, &rng);
+    XPRS_CHECK_OK(t.status());
+    db.tables.push_back(t.value());
+  }
+  return db;
+}
+
+QuerySpec MakeJoinQuery(const Database& db, std::vector<int> rels) {
+  QuerySpec q;
+  for (int r : rels) q.relations.push_back({db.tables[r], Predicate()});
+  for (size_t i = 0; i + 1 < rels.size(); ++i)
+    q.joins.push_back(
+        {static_cast<int>(i), 0, static_cast<int>(i + 1), 0});
+  return q;
+}
+
+void SingleUserStudy(const Database& db) {
+  MachineConfig machine = MachineConfig::PaperConfig();
+  CostModel model;
+  TwoPhaseOptimizer opt(machine, &model);
+
+  std::printf("Single-user optimization (§4): seqcost vs parcost, "
+              "left-deep vs bushy:\n");
+  TextTable table({"query", "plan strategy", "shape", "seqcost (s)",
+                   "parcost (s)", "fragments"});
+
+  struct Case {
+    const char* name;
+    std::vector<int> rels;
+  } cases[] = {
+      {"3-way (fat-thin-fat)", {0, 2, 1}},
+      {"4-way (mixed)", {0, 2, 1, 3}},
+      {"5-way (all)", {0, 2, 1, 3, 4}},
+  };
+
+  for (const auto& c : cases) {
+    QuerySpec q = MakeJoinQuery(db, c.rels);
+    auto ld = opt.Optimize(q, TreeShape::kLeftDeep);
+    auto bushy = opt.Optimize(q, TreeShape::kBushy);
+    auto pc = opt.OptimizeParCost(q, /*per_subset=*/3);
+    XPRS_CHECK_OK(ld.status());
+    XPRS_CHECK_OK(bushy.status());
+    XPRS_CHECK_OK(pc.status());
+
+    auto add = [&](const char* strategy, const OptimizedQuery& r) {
+      table.AddRow({c.name, strategy,
+                    IsLeftDeep(*r.plan) ? "left-deep" : "bushy",
+                    StrFormat("%.2f", r.seqcost),
+                    StrFormat("%.2f", r.parcost),
+                    StrFormat("%zu", r.profiles.size())});
+    };
+    add("best seqcost, left-deep", *ld);
+    add("best seqcost, bushy", *bushy);
+    add("best parcost (top-3/subset)", *pc);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void MultiUserStudy(const Database& db) {
+  MachineConfig machine = MachineConfig::PaperConfig();
+  CostModel model;
+  TwoPhaseOptimizer opt(machine, &model);
+
+  std::printf(
+      "Multi-user mode (§4): intra-only-optimized single-query plans,\n"
+      "submitted together — the scheduler pairs fragments across queries:\n");
+
+  // Four single-relation selection queries with mixed io rates (two fat /
+  // two thin scans), each optimized independently.
+  std::vector<TaskProfile> all;
+  TaskId base = 0;
+  for (int r : {0, 2, 1, 3}) {
+    QuerySpec q;
+    q.relations = {{db.tables[r], Predicate()}};
+    auto optimized = opt.Optimize(q);
+    XPRS_CHECK_OK(optimized.status());
+    for (TaskProfile p : optimized->profiles) {
+      p.id += base;
+      for (auto& d : p.deps) d += base;
+      p.query_id = base / 100;
+      all.push_back(p);
+    }
+    base += 100;
+  }
+
+  TextTable table({"scheduling", "elapsed (s)", "cpu util", "io util"});
+  for (SchedPolicy policy : {SchedPolicy::kIntraOnly,
+                             SchedPolicy::kInterWithAdj}) {
+    SchedulerOptions so;
+    so.policy = policy;
+    AdaptiveScheduler sched(machine, so);
+    FluidSimulator sim(machine, SimOptions());
+    SimResult r = sim.Run(&sched, all);
+    table.AddRow({SchedPolicyName(policy), StrFormat("%.2f", r.elapsed),
+                  StrFormat("%.0f%%", r.cpu_utilization * 100),
+                  StrFormat("%.0f%%", r.io_utilization * 100)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void BatchStudy(const Database& db) {
+  MachineConfig machine = MachineConfig::PaperConfig();
+  CostModel model;
+  TwoPhaseOptimizer opt(machine, &model);
+
+  std::printf(
+      "Joint multi-query optimization (§5 future-work extension): plans\n"
+      "chosen per-query vs chosen against the combined schedule makespan:\n");
+
+  std::vector<QuerySpec> batch = {
+      MakeJoinQuery(db, {0, 2}),     // fat-thin
+      MakeJoinQuery(db, {1, 3}),     // fat-thin
+      MakeJoinQuery(db, {0, 4, 2}),  // 3-way
+      MakeJoinQuery(db, {2, 3}),     // thin-thin
+  };
+
+  // Baseline: independent best-seqcost plans.
+  JoinEnumerator enumerator(&model);
+  std::vector<std::unique_ptr<PlanNode>> indep;
+  for (const auto& q : batch) {
+    auto best = enumerator.BestPlan(q, TreeShape::kBushy);
+    XPRS_CHECK_OK(best.status());
+    indep.push_back(std::move(best->plan));
+  }
+  std::vector<const PlanNode*> indep_ptrs;
+  for (const auto& p : indep) indep_ptrs.push_back(p.get());
+  double indep_makespan = opt.BatchCost(indep_ptrs);
+
+  double joint_makespan = 0.0;
+  auto joint = opt.OptimizeBatch(batch, &joint_makespan);
+  XPRS_CHECK_OK(joint.status());
+
+  TextTable table({"strategy", "batch makespan (s)"});
+  table.AddRow({"independent per-query (seqcost best)",
+                StrFormat("%.2f", indep_makespan)});
+  table.AddRow({"joint coordinate descent", StrFormat("%.2f", joint_makespan)});
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void Run() {
+  std::printf("Section 4: optimization of bushy tree plans for parallelism\n\n");
+  Database db = BuildDatabase();
+  SingleUserStudy(db);
+  MultiUserStudy(db);
+  BatchStudy(db);
+  std::printf(
+      "reading: parcost < seqcost everywhere (parallelism helps); the\n"
+      "parcost-driven choice is never worse than two-phase left-deep and\n"
+      "picks bushy shapes when independent IO/CPU fragment pairs exist;\n"
+      "in multi-user mode INTER-WITH-ADJ lifts utilization of the same\n"
+      "plans without re-optimizing.\n");
+}
+
+}  // namespace
+}  // namespace xprs
+
+int main() {
+  xprs::Run();
+  return 0;
+}

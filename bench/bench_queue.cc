@@ -1,0 +1,107 @@
+// §2.5 queue-mode study: "The above algorithm can be easily extended to
+// handle a continuous sequence of tasks ... All we need to do is to
+// represent S_io and S_cpu as queues."
+//
+// Streams Poisson arrivals of random-mix tasks at increasing load and
+// compares the three policies on makespan, mean response time, and
+// utilization — showing the pairing advantage grows with load until the
+// disks saturate, and the SJF heuristic's response-time win.
+
+#include <cstdio>
+
+#include "sched/scheduler.h"
+#include "sim/fluid_sim.h"
+#include "util/stats.h"
+#include "util/str.h"
+#include "workload/tasks.h"
+
+namespace xprs {
+namespace {
+
+constexpr int kTrials = 15;
+constexpr int kTasks = 40;
+
+struct RunStats {
+  RunningStat response;
+  RunningStat elapsed;
+  RunningStat cpu;
+  RunningStat io;
+};
+
+void RunPolicy(const MachineConfig& machine, SchedPolicy policy, bool sjf,
+               double mean_gap, RunStats* stats) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(3000 + trial);
+    WorkloadOptions wo;
+    wo.num_tasks = kTasks;
+    auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, wo, mean_gap,
+                                     &rng);
+    SchedulerOptions so;
+    so.policy = policy;
+    so.shortest_job_first = sjf;
+    AdaptiveScheduler sched(machine, so);
+    FluidSimulator sim(machine, SimOptions());
+    SimResult r = sim.Run(&sched, tasks);
+    stats->response.Add(r.mean_response_time);
+    stats->elapsed.Add(r.elapsed);
+    stats->cpu.Add(r.cpu_utilization);
+    stats->io.Add(r.io_utilization);
+  }
+}
+
+void Run() {
+  MachineConfig machine = MachineConfig::PaperConfig();
+  std::printf("Queue mode (§2.5): continuous Poisson arrivals, %d tasks, "
+              "%d trials/cell\n%s\n\n",
+              kTasks, kTrials, machine.ToString().c_str());
+
+  std::printf("mean response time (s) vs offered load:\n");
+  TextTable resp({"mean inter-arrival (s)", "INTRA-ONLY", "INTER-W/O-ADJ",
+                  "INTER-W/-ADJ", "W/-ADJ + SJF"});
+  std::printf("total elapsed shown below in parentheses per cell\n");
+  for (double gap : {6.0, 3.0, 1.5, 0.75}) {
+    std::vector<std::string> row = {StrFormat("%.2f", gap)};
+    struct Cell {
+      SchedPolicy policy;
+      bool sjf;
+    } cells[] = {{SchedPolicy::kIntraOnly, false},
+                 {SchedPolicy::kInterWithoutAdj, false},
+                 {SchedPolicy::kInterWithAdj, false},
+                 {SchedPolicy::kInterWithAdj, true}};
+    for (const Cell& cell : cells) {
+      RunStats stats;
+      RunPolicy(machine, cell.policy, cell.sjf, gap, &stats);
+      row.push_back(StrFormat("%.1f (%.0f)", stats.response.mean(),
+                              stats.elapsed.mean()));
+    }
+    resp.AddRow(row);
+  }
+  std::printf("%s\n", resp.ToString().c_str());
+
+  std::printf("utilization at heavy load (inter-arrival 0.75 s):\n");
+  TextTable util({"policy", "cpu util", "io util"});
+  for (SchedPolicy policy : {SchedPolicy::kIntraOnly,
+                             SchedPolicy::kInterWithoutAdj,
+                             SchedPolicy::kInterWithAdj}) {
+    RunStats stats;
+    RunPolicy(machine, policy, false, 0.75, &stats);
+    util.AddRow({SchedPolicyName(policy),
+                 StrFormat("%.0f%%", stats.cpu.mean() * 100),
+                 StrFormat("%.0f%%", stats.io.mean() * 100)});
+  }
+  std::printf("%s\n", util.ToString().c_str());
+  std::printf(
+      "reading: at light load every policy keeps up (arrival-bound); as\n"
+      "load rises the queues stay non-empty and IO/CPU pairing pulls ahead\n"
+      "in both response time and makespan; SJF trims response time further\n"
+      "at no makespan cost. The queue representation is exactly the fixed-\n"
+      "set algorithm — only S_io/S_cpu become queues (§2.5).\n");
+}
+
+}  // namespace
+}  // namespace xprs
+
+int main() {
+  xprs::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Adaptive scheduling dashboard: replays one Extreme-mix workload under
+// INTER-WITH-ADJ on the fluid simulator and renders the machine's state
+// over time — which tasks run at what parallelism, processor and disk
+// utilization per interval, and every pairing / adjustment decision.
+//
+//   ./build/examples/adaptive_dashboard
+
+#include <cstdio>
+#include <string>
+
+#include "sched/scheduler.h"
+#include "sim/fluid_sim.h"
+#include "util/str.h"
+#include "workload/tasks.h"
+
+using namespace xprs;
+
+namespace {
+
+std::string Bar(double fraction, int width) {
+  int filled = static_cast<int>(fraction * width + 0.5);
+  if (filled > width) filled = width;
+  std::string bar(filled, '#');
+  bar.append(width - filled, '.');
+  return bar;
+}
+
+}  // namespace
+
+int main() {
+  MachineConfig machine = MachineConfig::PaperConfig();
+  std::printf("Adaptive scheduling dashboard — %s\n\n",
+              machine.ToString().c_str());
+
+  Rng rng(2718);
+  WorkloadOptions wo;
+  auto tasks = MakeWorkload(WorkloadKind::kExtremeMix, wo, &rng);
+  std::printf("workload (Extreme mix, 10 tasks):\n");
+  for (const auto& t : tasks) {
+    std::printf("  %-22s T=%5.1fs C=%4.0f io/s -> %s\n", t.name.c_str(),
+                t.seq_time, t.io_rate(),
+                IsIoBound(t, machine) ? "IO-bound" : "CPU-bound");
+  }
+
+  SchedulerOptions so;
+  so.policy = SchedPolicy::kInterWithAdj;
+  AdaptiveScheduler scheduler(machine, so);
+  FluidSimulator sim(machine, SimOptions());
+  SimResult result = sim.Run(&scheduler, tasks);
+
+  std::printf("\nschedule decisions:\n");
+  for (const auto& d : scheduler.decisions())
+    std::printf("  %s\n", d.ToString().c_str());
+
+  std::printf("\nutilization timeline (per simulator interval):\n");
+  std::printf("%8s %8s  %-22s %-22s %s\n", "t (s)", "dt (s)",
+              "cpus busy", "io rate / B", "tasks");
+  for (const auto& s : sim.trace()) {
+    if (s.duration < 0.05) continue;  // skip micro-intervals for readability
+    double cpu_frac = s.cpus_busy / machine.num_cpus;
+    double io_frac = s.io_rate / machine.nominal_bandwidth();
+    std::printf("%8.2f %8.2f  [%s] %4.1f [%s] %3.0f%%  %d running\n", s.time,
+                s.duration, Bar(cpu_frac, 12).c_str(), s.cpus_busy,
+                Bar(io_frac, 12).c_str(), io_frac * 100.0, s.tasks_running);
+  }
+
+  std::printf("\nper-task Gantt (digit = processors assigned):\n%s",
+              RenderGantt(sim.trace(), result).c_str());
+
+  std::printf("\n%s\n", result.ToString().c_str());
+  std::printf(
+      "reading: the scheduler holds both bars near full while IO-bound and\n"
+      "CPU-bound tasks coexist, adjusting survivors on every completion\n"
+      "(the 'adjust' lines above) to stay at the IO-CPU balance point.\n");
+  return 0;
+}

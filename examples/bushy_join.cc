@@ -1,0 +1,83 @@
+// Bushy-tree optimization demo (§4): a 4-way join is optimized three ways
+// — best left-deep by seqcost, best bushy by seqcost, and best-by-parcost
+// — then each plan's fragment schedule is shown and the winner is executed.
+//
+//   ./build/examples/bushy_join
+
+#include <cstdio>
+
+#include "exec/executor.h"
+#include "opt/two_phase.h"
+#include "util/str.h"
+#include "workload/relations.h"
+
+using namespace xprs;
+
+int main() {
+  MachineConfig machine = MachineConfig::PaperConfig();
+  DiskArray array(machine.num_disks, DiskMode::kInstant);
+  Catalog catalog(&array);
+  Rng rng(5);
+
+  Table* orders = BuildRelation(&catalog, "orders", 900,
+                                TextWidthForIoRate(60), 300, &rng)
+                      .value();
+  Table* items = BuildRelation(&catalog, "items", 4000,
+                               TextWidthForIoRate(8), 300, &rng)
+                     .value();
+  Table* custs = BuildRelation(&catalog, "custs", 600,
+                               TextWidthForIoRate(40), 300, &rng)
+                     .value();
+  Table* tiny = BuildRelation(&catalog, "tiny", 250,
+                              TextWidthForIoRate(15), 300, &rng)
+                    .value();
+
+  QuerySpec query;
+  query.relations = {{orders, Predicate::Between(0, 0, 200)},
+                     {items, Predicate()},
+                     {custs, Predicate()},
+                     {tiny, Predicate()}};
+  query.joins = {{0, 0, 1, 0}, {1, 0, 2, 0}, {2, 0, 3, 0}};
+
+  CostModel model;
+  TwoPhaseOptimizer optimizer(machine, &model);
+
+  auto show = [&](const char* title, const OptimizedQuery& q) {
+    std::printf("=== %s ===\n", title);
+    std::printf("seqcost %.2fs, parcost(n=%d) %.2fs, %s\n", q.seqcost,
+                machine.num_cpus, q.parcost,
+                IsLeftDeep(*q.plan) ? "left-deep" : "bushy");
+    std::printf("%s", q.plan->ToString().c_str());
+    std::printf("fragments (tasks handed to the parallelizer):\n");
+    for (const TaskProfile& p : q.profiles) {
+      std::printf("  f%lld: T=%5.2fs C=%5.1f io/s %-10s deps=[%s]\n",
+                  static_cast<long long>(p.id), p.seq_time, p.io_rate(),
+                  IoPatternName(p.pattern), StrJoin(p.deps, ",").c_str());
+    }
+    std::printf("\n");
+  };
+
+  auto left_deep = optimizer.Optimize(query, TreeShape::kLeftDeep);
+  auto bushy = optimizer.Optimize(query, TreeShape::kBushy);
+  auto by_parcost = optimizer.OptimizeParCost(query, /*per_subset=*/3);
+  if (!left_deep.ok() || !bushy.ok() || !by_parcost.ok()) {
+    std::fprintf(stderr, "optimization failed\n");
+    return 1;
+  }
+  show("best left-deep (seqcost)", *left_deep);
+  show("best bushy (seqcost)", *bushy);
+  show("best by parcost — the §4 choice", *by_parcost);
+
+  ExecContext ctx;
+  auto rows = ExecutePlanSequential(*by_parcost->plan, ctx);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 rows.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("executed the parcost winner: %zu result rows; first three:\n",
+              rows->size());
+  for (size_t i = 0; i < rows->size() && i < 3; ++i)
+    std::printf("  %s\n", (*rows)[i].ToString().c_str());
+  return 0;
+}

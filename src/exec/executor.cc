@@ -1,0 +1,107 @@
+#include "exec/executor.h"
+
+#include "exec/spill_ops.h"
+#include "util/check.h"
+
+namespace xprs {
+
+namespace {
+
+// `partition_leftmost` is true only along the spine from the root to the
+// left-most scan: that scan drives the pipeline and is the one that gets
+// page-partitioned for intra-operation parallelism.
+StatusOr<std::unique_ptr<Operator>> Build(const PlanNode& plan,
+                                          const ExecContext& ctx,
+                                          int num_partitions,
+                                          int partition_index,
+                                          bool partition_leftmost) {
+  switch (plan.kind) {
+    case PlanKind::kSeqScan: {
+      int n = partition_leftmost ? num_partitions : 1;
+      int i = partition_leftmost ? partition_index : 0;
+      return std::unique_ptr<Operator>(
+          std::make_unique<SeqScanOp>(plan.table, plan.predicate, ctx, n, i));
+    }
+    case PlanKind::kIndexScan:
+      // Static partitioning of index scans is by key range; the sequential
+      // builder runs them whole (the parallel module range-partitions).
+      return std::unique_ptr<Operator>(std::make_unique<IndexScanOp>(
+          plan.table, plan.predicate, plan.index_range, ctx));
+    case PlanKind::kSort: {
+      XPRS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> child,
+          Build(*plan.left, ctx, num_partitions, partition_index,
+                partition_leftmost));
+      if (ctx.spill.temp_array != nullptr) {
+        return std::unique_ptr<Operator>(std::make_unique<ExternalSortOp>(
+            std::move(child), plan.sort_key, ctx.spill));
+      }
+      return std::unique_ptr<Operator>(
+          std::make_unique<SortOp>(std::move(child), plan.sort_key));
+    }
+    case PlanKind::kAggregate: {
+      XPRS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> child,
+          Build(*plan.left, ctx, num_partitions, partition_index,
+                partition_leftmost));
+      return std::unique_ptr<Operator>(std::make_unique<AggregateOp>(
+          std::move(child), plan.output_schema, plan.agg_func, plan.agg_col,
+          plan.group_col));
+    }
+    case PlanKind::kNestLoopJoin: {
+      XPRS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> outer,
+          Build(*plan.left, ctx, num_partitions, partition_index,
+                partition_leftmost));
+      XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
+                            Build(*plan.right, ctx, 1, 0, false));
+      return std::unique_ptr<Operator>(std::make_unique<NestLoopJoinOp>(
+          std::move(outer), std::move(inner), plan.left_key, plan.right_key));
+    }
+    case PlanKind::kMergeJoin: {
+      XPRS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> outer,
+          Build(*plan.left, ctx, num_partitions, partition_index,
+                partition_leftmost));
+      XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
+                            Build(*plan.right, ctx, 1, 0, false));
+      return std::unique_ptr<Operator>(std::make_unique<MergeJoinOp>(
+          std::move(outer), std::move(inner), plan.left_key, plan.right_key));
+    }
+    case PlanKind::kHashJoin: {
+      XPRS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> outer,
+          Build(*plan.left, ctx, num_partitions, partition_index,
+                partition_leftmost));
+      XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
+                            Build(*plan.right, ctx, 1, 0, false));
+      if (ctx.spill.temp_array != nullptr) {
+        return std::unique_ptr<Operator>(std::make_unique<GraceHashJoinOp>(
+            std::move(outer), std::move(inner), plan.left_key,
+            plan.right_key, ctx.spill));
+      }
+      return std::unique_ptr<Operator>(std::make_unique<HashJoinOp>(
+          std::move(outer), std::move(inner), plan.left_key, plan.right_key));
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Operator>> BuildOperatorTree(const PlanNode& plan,
+                                                      const ExecContext& ctx,
+                                                      int num_partitions,
+                                                      int partition_index) {
+  return Build(plan, ctx, num_partitions, partition_index,
+               /*partition_leftmost=*/true);
+}
+
+StatusOr<std::vector<Tuple>> ExecutePlanSequential(const PlanNode& plan,
+                                                   const ExecContext& ctx) {
+  XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
+                        BuildOperatorTree(plan, ctx));
+  return Drain(root.get());
+}
+
+}  // namespace xprs

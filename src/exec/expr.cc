@@ -1,0 +1,193 @@
+#include "exec/expr.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+struct Predicate::Node {
+  Kind kind = Kind::kTrue;
+  // kCompare:
+  size_t column = 0;
+  CmpOp op = CmpOp::kEq;
+  Value constant;
+  // kAnd / kOr:
+  std::shared_ptr<const Node> left, right;
+};
+
+Predicate::Predicate() : node_(std::make_shared<Node>()) {}
+
+Predicate::Predicate(std::shared_ptr<const Node> node)
+    : node_(std::move(node)) {}
+
+Predicate Predicate::Compare(size_t column, CmpOp op, Value constant) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kCompare;
+  node->column = column;
+  node->op = op;
+  node->constant = std::move(constant);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::Between(size_t column, int32_t lo, int32_t hi) {
+  return And(Compare(column, CmpOp::kGe, Value(lo)),
+             Compare(column, CmpOp::kLe, Value(hi)));
+}
+
+Predicate Predicate::And(Predicate a, Predicate b) {
+  if (a.IsTrue()) return b;
+  if (b.IsTrue()) return a;
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->left = a.node_;
+  node->right = b.node_;
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::Or(Predicate a, Predicate b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->left = a.node_;
+  node->right = b.node_;
+  return Predicate(std::move(node));
+}
+
+namespace {
+
+bool EvalCompare(const Value& v, CmpOp op, const Value& constant) {
+  if (IsNull(v) || IsNull(constant)) return false;
+  int c = CompareValues(v, constant);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Predicate::Eval(const Tuple& tuple) const {
+  const Node* n = node_.get();
+  switch (n->kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCompare:
+      XPRS_CHECK_LT(n->column, tuple.size());
+      return EvalCompare(tuple.value(n->column), n->op, n->constant);
+    case Kind::kAnd:
+      return Predicate(n->left).Eval(tuple) && Predicate(n->right).Eval(tuple);
+    case Kind::kOr:
+      return Predicate(n->left).Eval(tuple) || Predicate(n->right).Eval(tuple);
+  }
+  return false;
+}
+
+bool Predicate::IsTrue() const { return node_->kind == Kind::kTrue; }
+
+bool Predicate::ExtractKeyRange(size_t column, KeyRange* range) const {
+  const Node* n = node_.get();
+  switch (n->kind) {
+    case Kind::kTrue:
+    case Kind::kOr:
+      return false;
+    case Kind::kCompare: {
+      if (n->column != column) return false;
+      const int32_t* k = std::get_if<int32_t>(&n->constant);
+      if (k == nullptr) return false;
+      switch (n->op) {
+        case CmpOp::kEq:
+          range->lo = std::max(range->lo, *k);
+          range->hi = std::min(range->hi, *k);
+          return true;
+        case CmpOp::kLt:
+          range->hi = std::min(range->hi, *k - 1);
+          return true;
+        case CmpOp::kLe:
+          range->hi = std::min(range->hi, *k);
+          return true;
+        case CmpOp::kGt:
+          range->lo = std::max(range->lo, *k + 1);
+          return true;
+        case CmpOp::kGe:
+          range->lo = std::max(range->lo, *k);
+          return true;
+        case CmpOp::kNe:
+          return false;
+      }
+      return false;
+    }
+    case Kind::kAnd: {
+      bool l = Predicate(n->left).ExtractKeyRange(column, range);
+      bool r = Predicate(n->right).ExtractKeyRange(column, range);
+      return l || r;
+    }
+  }
+  return false;
+}
+
+Predicate Predicate::ShiftColumns(size_t offset) const {
+  const Node* n = node_.get();
+  switch (n->kind) {
+    case Kind::kTrue:
+      return Predicate();
+    case Kind::kCompare:
+      return Compare(n->column + offset, n->op, n->constant);
+    case Kind::kAnd:
+      return And(Predicate(n->left).ShiftColumns(offset),
+                 Predicate(n->right).ShiftColumns(offset));
+    case Kind::kOr:
+      return Or(Predicate(n->left).ShiftColumns(offset),
+                Predicate(n->right).ShiftColumns(offset));
+  }
+  return Predicate();
+}
+
+std::string Predicate::ToString() const {
+  const Node* n = node_.get();
+  switch (n->kind) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kCompare:
+      return StrFormat("col%zu %s %s", n->column, CmpOpName(n->op),
+                       ValueToString(n->constant).c_str());
+    case Kind::kAnd:
+      return "(" + Predicate(n->left).ToString() + " AND " +
+             Predicate(n->right).ToString() + ")";
+    case Kind::kOr:
+      return "(" + Predicate(n->left).ToString() + " OR " +
+             Predicate(n->right).ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace xprs

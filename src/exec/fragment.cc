@@ -1,0 +1,283 @@
+#include "exec/fragment.h"
+
+#include <algorithm>
+
+#include "exec/spill_ops.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+std::string Fragment::ToString() const {
+  std::string deps_str = StrJoin(deps, ",");
+  return StrFormat("Fragment{%d root=%s deps=[%s] inputs=%zu}", id,
+                   PlanKindName(root->kind), deps_str.c_str(),
+                   blocked_inputs.size());
+}
+
+int FragmentGraph::NewFragment(const PlanNode* root) {
+  Fragment f;
+  f.id = static_cast<int>(fragments_.size());
+  f.root = root;
+  fragments_.push_back(std::move(f));
+  return fragments_.back().id;
+}
+
+FragmentGraph FragmentGraph::Decompose(const PlanNode& plan) {
+  FragmentGraph g;
+  g.root_fragment_ = g.NewFragment(&plan);
+  g.Walk(&plan, g.root_fragment_);
+  return g;
+}
+
+void FragmentGraph::Walk(const PlanNode* node, int frag) {
+  switch (node->kind) {
+    case PlanKind::kSeqScan:
+    case PlanKind::kIndexScan:
+      return;
+
+    case PlanKind::kSort:
+    case PlanKind::kAggregate:
+      if (node == fragments_[frag].root) {
+        // This fragment *is* the blocking producer: the pipeline below
+        // feeds the sort buffer / aggregation table, and the fragment pays
+        // that work.
+        Walk(node->left.get(), frag);
+      } else {
+        // Blocking edge: everything from this node down is a new fragment.
+        int child = NewFragment(node);
+        fragments_[frag].blocked_inputs[node] = child;
+        fragments_[frag].deps.push_back(child);
+        Walk(node, child);
+      }
+      return;
+
+    case PlanKind::kNestLoopJoin:
+    case PlanKind::kMergeJoin:
+      // Both inputs pipeline (merge join inputs are Sort nodes, which cut
+      // their own boundaries above).
+      Walk(node->left.get(), frag);
+      Walk(node->right.get(), frag);
+      return;
+
+    case PlanKind::kHashJoin: {
+      // Probe side pipelines; the build side is a blocking edge.
+      Walk(node->left.get(), frag);
+      int child = NewFragment(node->right.get());
+      fragments_[frag].blocked_inputs[node->right.get()] = child;
+      fragments_[frag].deps.push_back(child);
+      Walk(node->right.get(), child);
+      return;
+    }
+  }
+}
+
+std::vector<int> FragmentGraph::TopologicalOrder() const {
+  // Children are always created after their parent, so descending id order
+  // is a valid schedule; Kahn's algorithm keeps this robust anyway.
+  std::vector<int> in_deg(fragments_.size(), 0);
+  std::vector<std::vector<int>> fwd(fragments_.size());
+  for (const auto& f : fragments_) {
+    for (int dep : f.deps) {
+      fwd[dep].push_back(f.id);
+      ++in_deg[f.id];
+    }
+  }
+  std::vector<int> order;
+  std::vector<int> queue;
+  for (const auto& f : fragments_)
+    if (in_deg[f.id] == 0) queue.push_back(f.id);
+  while (!queue.empty()) {
+    int id = queue.back();
+    queue.pop_back();
+    order.push_back(id);
+    for (int next : fwd[id])
+      if (--in_deg[next] == 0) queue.push_back(next);
+  }
+  XPRS_CHECK_EQ(order.size(), fragments_.size());
+  return order;
+}
+
+std::string FragmentGraph::ToString() const {
+  std::string out;
+  for (const auto& f : fragments_) {
+    out += f.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+StatusOr<std::unique_ptr<Operator>> BuildFrag(
+    const FragmentGraph& graph, const Fragment& frag, const PlanNode* node,
+    const std::map<int, const TempResult*>& inputs, const ExecContext& ctx,
+    int num_partitions, int partition_index, bool partition_leftmost,
+    const DrivingLeafFactory* factory) {
+  // A blocked input is replaced by a source over the producing fragment's
+  // materialized output (or by the driving factory if it is the driving
+  // leaf).
+  auto blocked = frag.blocked_inputs.find(node);
+  if (blocked != frag.blocked_inputs.end()) {
+    if (partition_leftmost && factory != nullptr) return (*factory)(node);
+    auto temp = inputs.find(blocked->second);
+    if (temp == inputs.end() || temp->second == nullptr)
+      return Status::FailedPrecondition(
+          StrFormat("fragment %d input (fragment %d) not materialized",
+                    frag.id, blocked->second));
+    return std::unique_ptr<Operator>(
+        std::make_unique<TempSourceOp>(temp->second));
+  }
+  if (partition_leftmost && factory != nullptr &&
+      (node->kind == PlanKind::kSeqScan ||
+       node->kind == PlanKind::kIndexScan)) {
+    return (*factory)(node);
+  }
+
+  switch (node->kind) {
+    case PlanKind::kSeqScan: {
+      int n = partition_leftmost ? num_partitions : 1;
+      int i = partition_leftmost ? partition_index : 0;
+      return std::unique_ptr<Operator>(
+          std::make_unique<SeqScanOp>(node->table, node->predicate, ctx, n,
+                                      i));
+    }
+    case PlanKind::kIndexScan:
+      return std::unique_ptr<Operator>(std::make_unique<IndexScanOp>(
+          node->table, node->predicate, node->index_range, ctx));
+    case PlanKind::kSort: {
+      XPRS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> child,
+          BuildFrag(graph, frag, node->left.get(), inputs, ctx,
+                    num_partitions, partition_index, partition_leftmost,
+                    factory));
+      if (ctx.spill.temp_array != nullptr) {
+        return std::unique_ptr<Operator>(std::make_unique<ExternalSortOp>(
+            std::move(child), node->sort_key, ctx.spill));
+      }
+      return std::unique_ptr<Operator>(
+          std::make_unique<SortOp>(std::move(child), node->sort_key));
+    }
+    case PlanKind::kAggregate: {
+      XPRS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> child,
+          BuildFrag(graph, frag, node->left.get(), inputs, ctx,
+                    num_partitions, partition_index, partition_leftmost,
+                    factory));
+      return std::unique_ptr<Operator>(std::make_unique<AggregateOp>(
+          std::move(child), node->output_schema, node->agg_func,
+          node->agg_col, node->group_col));
+    }
+    case PlanKind::kNestLoopJoin: {
+      XPRS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> outer,
+          BuildFrag(graph, frag, node->left.get(), inputs, ctx,
+                    num_partitions, partition_index, partition_leftmost,
+                    factory));
+      XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
+                            BuildFrag(graph, frag, node->right.get(), inputs,
+                                      ctx, 1, 0, false, nullptr));
+      return std::unique_ptr<Operator>(std::make_unique<NestLoopJoinOp>(
+          std::move(outer), std::move(inner), node->left_key,
+          node->right_key));
+    }
+    case PlanKind::kMergeJoin: {
+      XPRS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> outer,
+          BuildFrag(graph, frag, node->left.get(), inputs, ctx,
+                    num_partitions, partition_index, partition_leftmost,
+                    factory));
+      XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
+                            BuildFrag(graph, frag, node->right.get(), inputs,
+                                      ctx, 1, 0, false, nullptr));
+      return std::unique_ptr<Operator>(std::make_unique<MergeJoinOp>(
+          std::move(outer), std::move(inner), node->left_key,
+          node->right_key));
+    }
+    case PlanKind::kHashJoin: {
+      XPRS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> outer,
+          BuildFrag(graph, frag, node->left.get(), inputs, ctx,
+                    num_partitions, partition_index, partition_leftmost,
+                    factory));
+      XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
+                            BuildFrag(graph, frag, node->right.get(), inputs,
+                                      ctx, 1, 0, false, nullptr));
+      if (ctx.spill.temp_array != nullptr) {
+        return std::unique_ptr<Operator>(std::make_unique<GraceHashJoinOp>(
+            std::move(outer), std::move(inner), node->left_key,
+            node->right_key, ctx.spill));
+      }
+      return std::unique_ptr<Operator>(std::make_unique<HashJoinOp>(
+          std::move(outer), std::move(inner), node->left_key,
+          node->right_key));
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Operator>> BuildFragmentOperators(
+    const FragmentGraph& graph, int frag_id,
+    const std::map<int, const TempResult*>& inputs, const ExecContext& ctx,
+    int num_partitions, int partition_index) {
+  const Fragment& frag = graph.fragment(frag_id);
+  return BuildFrag(graph, frag, frag.root, inputs, ctx, num_partitions,
+                   partition_index, /*partition_leftmost=*/true, nullptr);
+}
+
+StatusOr<std::unique_ptr<Operator>> BuildFragmentOperatorsWithDriver(
+    const FragmentGraph& graph, int frag_id,
+    const std::map<int, const TempResult*>& inputs, const ExecContext& ctx,
+    const DrivingLeafFactory& factory) {
+  const Fragment& frag = graph.fragment(frag_id);
+  return BuildFrag(graph, frag, frag.root, inputs, ctx, 1, 0,
+                   /*partition_leftmost=*/true, &factory);
+}
+
+const PlanNode* DrivingLeaf(const FragmentGraph& graph, int frag_id) {
+  const Fragment& frag = graph.fragment(frag_id);
+  const PlanNode* node = frag.root;
+  for (;;) {
+    if (frag.blocked_inputs.count(node)) return node;
+    switch (node->kind) {
+      case PlanKind::kSeqScan:
+      case PlanKind::kIndexScan:
+        return node;
+      default:
+        node = node->left.get();
+    }
+  }
+}
+
+StatusOr<TempResult> ExecuteFragment(
+    const FragmentGraph& graph, int frag_id,
+    const std::map<int, const TempResult*>& inputs, const ExecContext& ctx,
+    int num_partitions, int partition_index) {
+  XPRS_ASSIGN_OR_RETURN(
+      std::unique_ptr<Operator> root,
+      BuildFragmentOperators(graph, frag_id, inputs, ctx, num_partitions,
+                             partition_index));
+  TempResult result;
+  result.schema = graph.fragment(frag_id).root->output_schema;
+  XPRS_ASSIGN_OR_RETURN(result.tuples, Drain(root.get()));
+  return result;
+}
+
+StatusOr<std::vector<Tuple>> ExecutePlanFragmented(const PlanNode& plan,
+                                                   const ExecContext& ctx) {
+  FragmentGraph graph = FragmentGraph::Decompose(plan);
+  std::map<int, TempResult> results;
+  for (int id : graph.TopologicalOrder()) {
+    std::map<int, const TempResult*> inputs;
+    for (int dep : graph.fragment(id).deps) inputs[dep] = &results.at(dep);
+    XPRS_ASSIGN_OR_RETURN(TempResult r,
+                          ExecuteFragment(graph, id, inputs, ctx));
+    results[id] = std::move(r);
+  }
+  return std::move(results.at(graph.root_fragment()).tuples);
+}
+
+}  // namespace xprs

@@ -1,0 +1,557 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+namespace {
+
+// Extracts an int32 join key; NULL keys never match.
+bool GetKey(const Tuple& tuple, size_t column, int32_t* key) {
+  const Value& v = tuple.value(column);
+  if (IsNull(v)) return false;
+  const int32_t* k = std::get_if<int32_t>(&v);
+  XPRS_CHECK_MSG(k != nullptr, "join key must be int4");
+  *key = *k;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- SeqScan
+
+SeqScanOp::SeqScanOp(Table* table, Predicate predicate, ExecContext ctx,
+                     int num_partitions, int partition_index)
+    : table_(table),
+      predicate_(std::move(predicate)),
+      ctx_(ctx),
+      num_partitions_(num_partitions),
+      partition_index_(partition_index) {
+  XPRS_CHECK(table != nullptr);
+  XPRS_CHECK_GE(num_partitions, 1);
+  XPRS_CHECK_GE(partition_index, 0);
+  XPRS_CHECK_LT(partition_index, num_partitions);
+}
+
+Status SeqScanOp::Open() {
+  next_page_ = 0;
+  next_slot_ = 0;
+  page_loaded_ = false;
+  pages_read_ = 0;
+  current_ = nullptr;
+  pooled_page_.Release();
+  // Advance to this worker's first page.
+  while (next_page_ < table_->file().num_pages() &&
+         static_cast<int>(next_page_ % num_partitions_) != partition_index_)
+    ++next_page_;
+  return Status::OK();
+}
+
+Status SeqScanOp::LoadPage(uint32_t page_index) {
+  if (ctx_.pool != nullptr) {
+    XPRS_ASSIGN_OR_RETURN(BlockId block, table_->file().BlockOf(page_index));
+    auto handle = ctx_.pool->Fetch(block);
+    if (!handle.ok()) return handle.status();
+    pooled_page_ = std::move(handle).value();
+    current_ = &pooled_page_.page();
+  } else {
+    XPRS_RETURN_IF_ERROR(table_->file().ReadPage(page_index, &direct_page_));
+    current_ = &direct_page_;
+  }
+  ++pages_read_;
+  page_loaded_ = true;
+  next_slot_ = 0;
+  return Status::OK();
+}
+
+Status SeqScanOp::Next(Tuple* out, bool* eof) {
+  *eof = false;
+  for (;;) {
+    if (!page_loaded_) {
+      if (next_page_ >= table_->file().num_pages()) {
+        *eof = true;
+        return Status::OK();
+      }
+      XPRS_RETURN_IF_ERROR(LoadPage(next_page_));
+    }
+    while (next_slot_ < current_->num_tuples()) {
+      const uint8_t* data;
+      uint16_t size;
+      XPRS_RETURN_IF_ERROR(current_->GetTuple(next_slot_, &data, &size));
+      ++next_slot_;
+      XPRS_ASSIGN_OR_RETURN(Tuple tuple,
+                            Tuple::Deserialize(table_->schema(), data, size));
+      if (predicate_.Eval(tuple)) {
+        *out = std::move(tuple);
+        return Status::OK();
+      }
+    }
+    // Page exhausted: step to this worker's next page.
+    page_loaded_ = false;
+    pooled_page_.Release();
+    next_page_ += num_partitions_;
+  }
+}
+
+// -------------------------------------------------------------- IndexScan
+
+IndexScanOp::IndexScanOp(Table* table, Predicate predicate, KeyRange range,
+                         ExecContext ctx)
+    : table_(table),
+      predicate_(std::move(predicate)),
+      range_(range),
+      ctx_(ctx) {
+  XPRS_CHECK(table != nullptr);
+  XPRS_CHECK_MSG(table->index() != nullptr, "index scan without index");
+}
+
+Status IndexScanOp::Open() {
+  it_ = table_->index()->Scan(range_.lo, range_.hi);
+  tuples_fetched_ = 0;
+  return Status::OK();
+}
+
+Status IndexScanOp::Next(Tuple* out, bool* eof) {
+  *eof = false;
+  while (it_->Valid()) {
+    TupleId tid = it_->tid();
+    it_->Next();
+    Tuple tuple;
+    if (ctx_.pool != nullptr) {
+      XPRS_ASSIGN_OR_RETURN(BlockId block, table_->file().BlockOf(tid.page));
+      auto handle = ctx_.pool->Fetch(block);
+      if (!handle.ok()) return handle.status();
+      const uint8_t* data;
+      uint16_t size;
+      XPRS_RETURN_IF_ERROR(handle->page().GetTuple(tid.slot, &data, &size));
+      XPRS_ASSIGN_OR_RETURN(tuple,
+                            Tuple::Deserialize(table_->schema(), data, size));
+    } else {
+      XPRS_ASSIGN_OR_RETURN(tuple, table_->file().ReadTuple(tid));
+    }
+    ++tuples_fetched_;
+    if (predicate_.Eval(tuple)) {
+      *out = std::move(tuple);
+      return Status::OK();
+    }
+  }
+  *eof = true;
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- Filter
+
+FilterOp::FilterOp(std::unique_ptr<Operator> child, Predicate predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  XPRS_CHECK(child_ != nullptr);
+}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+Status FilterOp::Next(Tuple* out, bool* eof) {
+  for (;;) {
+    XPRS_RETURN_IF_ERROR(child_->Next(out, eof));
+    if (*eof || predicate_.Eval(*out)) return Status::OK();
+  }
+}
+
+Status FilterOp::Close() { return child_->Close(); }
+
+// ----------------------------------------------------------- NestLoopJoin
+
+NestLoopJoinOp::NestLoopJoinOp(std::unique_ptr<Operator> outer,
+                               std::unique_ptr<Operator> inner,
+                               size_t left_key, size_t right_key)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      left_key_(left_key),
+      right_key_(right_key),
+      schema_(Schema::Concat(outer_->schema(), inner_->schema())) {}
+
+Status NestLoopJoinOp::Open() {
+  XPRS_RETURN_IF_ERROR(outer_->Open());
+  have_outer_ = false;
+  inner_open_ = false;
+  return Status::OK();
+}
+
+Status NestLoopJoinOp::Next(Tuple* out, bool* eof) {
+  *eof = false;
+  for (;;) {
+    if (!have_outer_) {
+      bool outer_eof;
+      XPRS_RETURN_IF_ERROR(outer_->Next(&outer_tuple_, &outer_eof));
+      if (outer_eof) {
+        *eof = true;
+        return Status::OK();
+      }
+      have_outer_ = true;
+      if (inner_open_) XPRS_RETURN_IF_ERROR(inner_->Close());
+      XPRS_RETURN_IF_ERROR(inner_->Open());
+      inner_open_ = true;
+    }
+    int32_t lk;
+    if (!GetKey(outer_tuple_, left_key_, &lk)) {
+      have_outer_ = false;  // NULL key joins nothing
+      continue;
+    }
+    for (;;) {
+      Tuple inner_tuple;
+      bool inner_eof;
+      XPRS_RETURN_IF_ERROR(inner_->Next(&inner_tuple, &inner_eof));
+      if (inner_eof) {
+        have_outer_ = false;
+        break;
+      }
+      int32_t rk;
+      if (GetKey(inner_tuple, right_key_, &rk) && rk == lk) {
+        *out = Tuple::Concat(outer_tuple_, inner_tuple);
+        return Status::OK();
+      }
+    }
+  }
+}
+
+Status NestLoopJoinOp::Close() {
+  XPRS_RETURN_IF_ERROR(outer_->Close());
+  if (inner_open_) {
+    inner_open_ = false;
+    return inner_->Close();
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- HashJoin
+
+HashJoinOp::HashJoinOp(std::unique_ptr<Operator> outer,
+                       std::unique_ptr<Operator> inner, size_t left_key,
+                       size_t right_key)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      left_key_(left_key),
+      right_key_(right_key),
+      schema_(Schema::Concat(outer_->schema(), inner_->schema())) {}
+
+Status HashJoinOp::Open() {
+  table_.clear();
+  build_rows_ = 0;
+  probing_ = false;
+  // Blocking build phase.
+  XPRS_RETURN_IF_ERROR(inner_->Open());
+  for (;;) {
+    Tuple tuple;
+    bool eof;
+    XPRS_RETURN_IF_ERROR(inner_->Next(&tuple, &eof));
+    if (eof) break;
+    int32_t key;
+    if (!GetKey(tuple, right_key_, &key)) continue;
+    table_.emplace(key, std::move(tuple));
+    ++build_rows_;
+  }
+  XPRS_RETURN_IF_ERROR(inner_->Close());
+  return outer_->Open();
+}
+
+Status HashJoinOp::Next(Tuple* out, bool* eof) {
+  *eof = false;
+  for (;;) {
+    if (probing_ && match_ != match_end_) {
+      *out = Tuple::Concat(outer_tuple_, match_->second);
+      ++match_;
+      return Status::OK();
+    }
+    probing_ = false;
+    bool outer_eof;
+    XPRS_RETURN_IF_ERROR(outer_->Next(&outer_tuple_, &outer_eof));
+    if (outer_eof) {
+      *eof = true;
+      return Status::OK();
+    }
+    int32_t key;
+    if (!GetKey(outer_tuple_, left_key_, &key)) continue;
+    auto [lo, hi] = table_.equal_range(key);
+    match_ = lo;
+    match_end_ = hi;
+    probing_ = true;
+  }
+}
+
+Status HashJoinOp::Close() {
+  table_.clear();
+  return outer_->Close();
+}
+
+// -------------------------------------------------------------- MergeJoin
+
+MergeJoinOp::MergeJoinOp(std::unique_ptr<Operator> outer,
+                         std::unique_ptr<Operator> inner, size_t left_key,
+                         size_t right_key)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      left_key_(left_key),
+      right_key_(right_key),
+      schema_(Schema::Concat(outer_->schema(), inner_->schema())) {}
+
+Status MergeJoinOp::Open() {
+  XPRS_RETURN_IF_ERROR(outer_->Open());
+  XPRS_RETURN_IF_ERROR(inner_->Open());
+  outer_eof_ = have_outer_ = false;
+  inner_eof_ = have_inner_pending_ = false;
+  have_group_ = false;
+  group_.clear();
+  group_pos_ = 0;
+  return Status::OK();
+}
+
+Status MergeJoinOp::AdvanceOuter() {
+  bool eof;
+  XPRS_RETURN_IF_ERROR(outer_->Next(&outer_tuple_, &eof));
+  outer_eof_ = eof;
+  have_outer_ = !eof;
+  return Status::OK();
+}
+
+// Buffers every inner tuple whose key equals `key`, consuming smaller keys.
+Status MergeJoinOp::LoadInnerGroup(int32_t key) {
+  group_.clear();
+  group_pos_ = 0;
+  have_group_ = true;
+  group_key_ = key;
+  for (;;) {
+    if (!have_inner_pending_) {
+      if (inner_eof_) return Status::OK();
+      bool eof;
+      XPRS_RETURN_IF_ERROR(inner_->Next(&inner_pending_, &eof));
+      if (eof) {
+        inner_eof_ = true;
+        return Status::OK();
+      }
+      have_inner_pending_ = true;
+    }
+    int32_t ik;
+    if (!GetKey(inner_pending_, right_key_, &ik)) {
+      have_inner_pending_ = false;  // NULL keys join nothing
+      continue;
+    }
+    if (ik < key) {
+      have_inner_pending_ = false;
+      continue;
+    }
+    if (ik > key) return Status::OK();  // keep pending for a later group
+    group_.push_back(inner_pending_);
+    have_inner_pending_ = false;
+  }
+}
+
+Status MergeJoinOp::Next(Tuple* out, bool* eof) {
+  *eof = false;
+  for (;;) {
+    if (have_outer_ && have_group_ && group_pos_ < group_.size()) {
+      *out = Tuple::Concat(outer_tuple_, group_[group_pos_]);
+      ++group_pos_;
+      return Status::OK();
+    }
+    // Need a new outer tuple (and possibly a new inner group).
+    int32_t prev_key = group_key_;
+    bool had_group = have_group_;
+    XPRS_RETURN_IF_ERROR(AdvanceOuter());
+    if (!have_outer_) {
+      *eof = true;
+      return Status::OK();
+    }
+    int32_t ok;
+    if (!GetKey(outer_tuple_, left_key_, &ok)) continue;
+    if (had_group && ok == prev_key) {
+      group_pos_ = 0;  // duplicate outer key: rescan the buffered group
+      continue;
+    }
+    XPRS_CHECK_MSG(!had_group || ok >= prev_key,
+                   "merge join input not sorted");
+    XPRS_RETURN_IF_ERROR(LoadInnerGroup(ok));
+    group_pos_ = 0;
+  }
+}
+
+Status MergeJoinOp::Close() {
+  XPRS_RETURN_IF_ERROR(outer_->Close());
+  return inner_->Close();
+}
+
+// -------------------------------------------------------------- Aggregate
+
+AggregateOp::AggregateOp(std::unique_ptr<Operator> child, Schema output_schema,
+                         AggFunc func, size_t agg_col, int group_col)
+    : child_(std::move(child)),
+      schema_(std::move(output_schema)),
+      func_(func),
+      agg_col_(agg_col),
+      group_col_(group_col) {
+  XPRS_CHECK(child_ != nullptr);
+}
+
+Status AggregateOp::Open() {
+  results_.clear();
+  pos_ = 0;
+
+  struct Acc {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int32_t min = 0;
+    int32_t max = 0;
+    bool any = false;
+  };
+  std::unordered_map<int32_t, Acc> groups;
+  Acc global;
+
+  XPRS_RETURN_IF_ERROR(child_->Open());
+  for (;;) {
+    Tuple tuple;
+    bool eof;
+    XPRS_RETURN_IF_ERROR(child_->Next(&tuple, &eof));
+    if (eof) break;
+    const Value& v = tuple.value(agg_col_);
+    if (IsNull(v)) continue;
+    const int32_t* value = std::get_if<int32_t>(&v);
+    if (value == nullptr)
+      return Status::InvalidArgument("aggregate column must be int4");
+
+    Acc* acc = &global;
+    if (group_col_ >= 0) {
+      int32_t key;
+      if (!GetKey(tuple, static_cast<size_t>(group_col_), &key)) continue;
+      acc = &groups[key];
+    }
+    ++acc->count;
+    acc->sum += *value;
+    if (!acc->any || *value < acc->min) acc->min = *value;
+    if (!acc->any || *value > acc->max) acc->max = *value;
+    acc->any = true;
+  }
+  XPRS_RETURN_IF_ERROR(child_->Close());
+
+  auto emit = [this](const Acc& acc) -> int32_t {
+    switch (func_) {
+      case AggFunc::kCount:
+        return static_cast<int32_t>(acc.count);
+      case AggFunc::kSum:
+        return static_cast<int32_t>(acc.sum);
+      case AggFunc::kMin:
+        return acc.min;
+      case AggFunc::kMax:
+        return acc.max;
+    }
+    return 0;
+  };
+
+  if (group_col_ >= 0) {
+    // Deterministic output order: by group key.
+    std::vector<int32_t> keys;
+    keys.reserve(groups.size());
+    for (const auto& [k, acc] : groups) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    for (int32_t k : keys)
+      results_.push_back(Tuple({Value(k), Value(emit(groups.at(k)))}));
+  } else if (global.any || func_ == AggFunc::kCount) {
+    results_.push_back(Tuple({Value(emit(global))}));
+  }
+  return Status::OK();
+}
+
+Status AggregateOp::Next(Tuple* out, bool* eof) {
+  if (pos_ >= results_.size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *eof = false;
+  *out = results_[pos_++];
+  return Status::OK();
+}
+
+Status AggregateOp::Close() {
+  results_.clear();
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------- Sort
+
+SortOp::SortOp(std::unique_ptr<Operator> child, size_t sort_key)
+    : child_(std::move(child)), sort_key_(sort_key) {}
+
+Status SortOp::Open() {
+  rows_.clear();
+  pos_ = 0;
+  XPRS_RETURN_IF_ERROR(child_->Open());
+  for (;;) {
+    Tuple tuple;
+    bool eof;
+    XPRS_RETURN_IF_ERROR(child_->Next(&tuple, &eof));
+    if (eof) break;
+    rows_.push_back(std::move(tuple));
+  }
+  XPRS_RETURN_IF_ERROR(child_->Close());
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Tuple& a, const Tuple& b) {
+                     return CompareValues(a.value(sort_key_),
+                                          b.value(sort_key_)) < 0;
+                   });
+  return Status::OK();
+}
+
+Status SortOp::Next(Tuple* out, bool* eof) {
+  if (pos_ >= rows_.size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *eof = false;
+  *out = rows_[pos_++];
+  return Status::OK();
+}
+
+Status SortOp::Close() {
+  rows_.clear();
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- TempSource
+
+TempSourceOp::TempSourceOp(const TempResult* temp) : temp_(temp) {
+  XPRS_CHECK(temp != nullptr);
+}
+
+Status TempSourceOp::Open() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Status TempSourceOp::Next(Tuple* out, bool* eof) {
+  if (pos_ >= temp_->tuples.size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *eof = false;
+  *out = temp_->tuples[pos_++];
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ Drain
+
+StatusOr<std::vector<Tuple>> Drain(Operator* op) {
+  XPRS_CHECK(op != nullptr);
+  XPRS_RETURN_IF_ERROR(op->Open());
+  std::vector<Tuple> rows;
+  for (;;) {
+    Tuple tuple;
+    bool eof;
+    XPRS_RETURN_IF_ERROR(op->Next(&tuple, &eof));
+    if (eof) break;
+    rows.push_back(std::move(tuple));
+  }
+  XPRS_RETURN_IF_ERROR(op->Close());
+  return rows;
+}
+
+}  // namespace xprs

@@ -1,0 +1,273 @@
+// Volcano-style sequential operators.
+//
+// Every operator implements Open / Next / Close. Scans pay disk time
+// through the storage layer (optionally via a shared buffer pool), which is
+// what gives each plan fragment its i/o rate C_i.
+
+#ifndef XPRS_EXEC_OPERATORS_H_
+#define XPRS_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/plan.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+
+namespace xprs {
+
+/// Spill configuration for memory-bounded operators (external sort,
+/// grace hash join).
+struct SpillConfig {
+  /// Disk array temporary files are written to. nullptr = never spill
+  /// (pure in-memory operators are used instead).
+  DiskArray* temp_array = nullptr;
+  /// Maximum tuples held in memory per operator before spilling.
+  size_t memory_tuples = 4096;
+};
+
+/// Shared execution state.
+struct ExecContext {
+  /// When set, page reads go through this pool; otherwise directly to the
+  /// disk array.
+  BufferPool* pool = nullptr;
+  /// When spill.temp_array is set, plan builders produce spilling Sort and
+  /// HashJoin operators bounded by spill.memory_tuples (§5 extension).
+  SpillConfig spill;
+};
+
+/// Base iterator.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares for iteration. May perform blocking work (sort, hash build).
+  virtual Status Open() = 0;
+
+  /// Produces the next tuple into *out; sets *eof instead when exhausted.
+  virtual Status Next(Tuple* out, bool* eof) = 0;
+
+  /// Releases resources; the operator may be re-Opened afterwards.
+  virtual Status Close() { return Status::OK(); }
+
+  /// Output schema.
+  virtual const Schema& schema() const = 0;
+};
+
+/// Sequential scan over a heap file with an optional static page partition:
+/// worker `partition_index` of `num_partitions` reads pages
+/// {p | p mod num_partitions == partition_index} (§2.4 page partitioning).
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(Table* table, Predicate predicate, ExecContext ctx,
+            int num_partitions = 1, int partition_index = 0);
+
+  Status Open() override;
+  Status Next(Tuple* out, bool* eof) override;
+  const Schema& schema() const override { return table_->schema(); }
+
+  /// Pages this scan actually read (after Open).
+  uint64_t pages_read() const { return pages_read_; }
+
+ private:
+  Status LoadPage(uint32_t page_index);
+
+  Table* const table_;
+  const Predicate predicate_;
+  const ExecContext ctx_;
+  const int num_partitions_;
+  const int partition_index_;
+
+  uint32_t next_page_ = 0;
+  uint16_t next_slot_ = 0;
+  bool page_loaded_ = false;
+  Page direct_page_;          // used when no buffer pool
+  PageHandle pooled_page_;    // used with a buffer pool
+  const Page* current_ = nullptr;
+  uint64_t pages_read_ = 0;
+};
+
+/// Unclustered index scan: walks index entries with key in `range`, fetches
+/// each qualifying tuple by TupleId (one random page read per tuple — the
+/// §3 "most IO-bound" access pattern), applies the residual predicate.
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(Table* table, Predicate predicate, KeyRange range,
+              ExecContext ctx);
+
+  Status Open() override;
+  Status Next(Tuple* out, bool* eof) override;
+  const Schema& schema() const override { return table_->schema(); }
+
+  uint64_t tuples_fetched() const { return tuples_fetched_; }
+
+ private:
+  Table* const table_;
+  const Predicate predicate_;
+  const KeyRange range_;
+  const ExecContext ctx_;
+  std::optional<BTreeIndex::Iterator> it_;
+  uint64_t tuples_fetched_ = 0;
+};
+
+/// Filter.
+class FilterOp : public Operator {
+ public:
+  FilterOp(std::unique_ptr<Operator> child, Predicate predicate);
+  Status Open() override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  const Predicate predicate_;
+};
+
+/// Nested-loop equality join; re-opens the inner input per outer tuple.
+class NestLoopJoinOp : public Operator {
+ public:
+  NestLoopJoinOp(std::unique_ptr<Operator> outer,
+                 std::unique_ptr<Operator> inner, size_t left_key,
+                 size_t right_key);
+  Status Open() override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+  const size_t left_key_, right_key_;
+  Schema schema_;
+  Tuple outer_tuple_;
+  bool have_outer_ = false;
+  bool inner_open_ = false;
+};
+
+/// Hash join: builds an in-memory table from the inner (right) input on
+/// Open — a blocking edge — then pipelines the outer probe side.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(std::unique_ptr<Operator> outer, std::unique_ptr<Operator> inner,
+             size_t left_key, size_t right_key);
+  Status Open() override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  const Schema& schema() const override { return schema_; }
+
+  size_t build_rows() const { return build_rows_; }
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+  const size_t left_key_, right_key_;
+  Schema schema_;
+  std::unordered_multimap<int32_t, Tuple> table_;
+  size_t build_rows_ = 0;
+  Tuple outer_tuple_;
+  std::unordered_multimap<int32_t, Tuple>::const_iterator match_, match_end_;
+  bool probing_ = false;
+};
+
+/// Merge join over two inputs sorted on their keys; buffers one inner key
+/// group to handle duplicate outer keys.
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(std::unique_ptr<Operator> outer, std::unique_ptr<Operator> inner,
+              size_t left_key, size_t right_key);
+  Status Open() override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Status AdvanceOuter();
+  Status LoadInnerGroup(int32_t key);
+
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+  const size_t left_key_, right_key_;
+  Schema schema_;
+
+  Tuple outer_tuple_;
+  bool outer_eof_ = false;
+  bool have_outer_ = false;
+
+  Tuple inner_pending_;      // next inner tuple past the buffered group
+  bool have_inner_pending_ = false;
+  bool inner_eof_ = false;
+
+  std::vector<Tuple> group_;  // buffered inner tuples with group_key_
+  bool have_group_ = false;
+  int32_t group_key_ = 0;
+  size_t group_pos_ = 0;
+};
+
+/// Hash aggregation: drains its input on Open (a blocking edge), emits
+/// one row per group — [group key,] aggregate value. NULL inputs are
+/// skipped (SQL semantics); count counts non-null values of the column.
+class AggregateOp : public Operator {
+ public:
+  AggregateOp(std::unique_ptr<Operator> child, Schema output_schema,
+              AggFunc func, size_t agg_col, int group_col);
+  Status Open() override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  const Schema schema_;
+  const AggFunc func_;
+  const size_t agg_col_;
+  const int group_col_;
+  std::vector<Tuple> results_;
+  size_t pos_ = 0;
+};
+
+/// Sort: drains its input on Open (a blocking edge), emits in key order.
+class SortOp : public Operator {
+ public:
+  SortOp(std::unique_ptr<Operator> child, size_t sort_key);
+  Status Open() override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override;
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  const size_t sort_key_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// A materialized intermediate result living in shared memory.
+struct TempResult {
+  Schema schema;
+  std::vector<Tuple> tuples;
+};
+
+/// Source over a materialized intermediate (fragment input).
+class TempSourceOp : public Operator {
+ public:
+  explicit TempSourceOp(const TempResult* temp);
+  Status Open() override;
+  Status Next(Tuple* out, bool* eof) override;
+  const Schema& schema() const override { return temp_->schema; }
+
+ private:
+  const TempResult* const temp_;
+  size_t pos_ = 0;
+};
+
+/// Drains an operator into a vector (Open/Next/Close).
+StatusOr<std::vector<Tuple>> Drain(Operator* op);
+
+}  // namespace xprs
+
+#endif  // XPRS_EXEC_OPERATORS_H_

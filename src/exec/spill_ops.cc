@@ -1,0 +1,358 @@
+#include "exec/spill_ops.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+namespace {
+
+std::atomic<int64_t> g_temp_counter{0};
+
+std::string NextTempName(const char* prefix) {
+  return StrFormat("%s_%lld", prefix,
+                   static_cast<long long>(
+                       g_temp_counter.fetch_add(1, std::memory_order_relaxed)));
+}
+
+bool KeyOf(const Tuple& tuple, size_t column, int32_t* key) {
+  const Value& v = tuple.value(column);
+  if (IsNull(v)) return false;
+  const int32_t* k = std::get_if<int32_t>(&v);
+  XPRS_CHECK_MSG(k != nullptr, "key column must be int4");
+  *key = *k;
+  return true;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- ExternalSort
+
+ExternalSortOp::ExternalSortOp(std::unique_ptr<Operator> child,
+                               size_t sort_key, const SpillConfig& config)
+    : child_(std::move(child)), sort_key_(sort_key), config_(config) {
+  XPRS_CHECK(child_ != nullptr);
+  XPRS_CHECK_GE(config.memory_tuples, 2u);
+}
+
+Status ExternalSortOp::SpillRun(std::vector<Tuple>* run) {
+  std::stable_sort(run->begin(), run->end(),
+                   [this](const Tuple& a, const Tuple& b) {
+                     return CompareValues(a.value(sort_key_),
+                                          b.value(sort_key_)) < 0;
+                   });
+  auto cursor = std::make_unique<RunCursor>();
+  cursor->file = std::make_unique<HeapFile>(
+      NextTempName("tmp_sort"), child_->schema(), config_.temp_array);
+  for (const Tuple& t : *run) XPRS_RETURN_IF_ERROR(cursor->file->Append(t));
+  XPRS_RETURN_IF_ERROR(cursor->file->Flush());
+  runs_.push_back(std::move(cursor));
+  ++runs_spilled_;
+  run->clear();
+  return Status::OK();
+}
+
+Status ExternalSortOp::AdvanceCursor(RunCursor* cursor) {
+  cursor->has_current = false;
+  if (cursor->done) return Status::OK();
+  for (;;) {
+    if (!cursor->loaded) {
+      if (cursor->page >= cursor->file->num_pages()) {
+        cursor->done = true;
+        return Status::OK();
+      }
+      XPRS_RETURN_IF_ERROR(
+          cursor->file->ReadPage(cursor->page, &cursor->buffer));
+      cursor->loaded = true;
+      cursor->slot = 0;
+    }
+    if (cursor->slot >= cursor->buffer.num_tuples()) {
+      ++cursor->page;
+      cursor->loaded = false;
+      continue;
+    }
+    const uint8_t* data;
+    uint16_t size;
+    XPRS_RETURN_IF_ERROR(
+        cursor->buffer.GetTuple(cursor->slot, &data, &size));
+    ++cursor->slot;
+    XPRS_ASSIGN_OR_RETURN(cursor->current,
+                          Tuple::Deserialize(child_->schema(), data, size));
+    cursor->has_current = true;
+    return Status::OK();
+  }
+}
+
+Status ExternalSortOp::Open() {
+  rows_.clear();
+  runs_.clear();
+  runs_spilled_ = 0;
+  pos_ = 0;
+  in_memory_ = true;
+
+  XPRS_RETURN_IF_ERROR(child_->Open());
+  for (;;) {
+    Tuple tuple;
+    bool eof;
+    XPRS_RETURN_IF_ERROR(child_->Next(&tuple, &eof));
+    if (eof) break;
+    rows_.push_back(std::move(tuple));
+    if (config_.temp_array != nullptr &&
+        rows_.size() >= config_.memory_tuples) {
+      in_memory_ = false;
+      XPRS_RETURN_IF_ERROR(SpillRun(&rows_));
+    }
+  }
+  XPRS_RETURN_IF_ERROR(child_->Close());
+
+  if (in_memory_) {
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Tuple& a, const Tuple& b) {
+                       return CompareValues(a.value(sort_key_),
+                                            b.value(sort_key_)) < 0;
+                     });
+    return Status::OK();
+  }
+
+  if (!rows_.empty()) XPRS_RETURN_IF_ERROR(SpillRun(&rows_));
+  for (auto& cursor : runs_) XPRS_RETURN_IF_ERROR(AdvanceCursor(cursor.get()));
+  return Status::OK();
+}
+
+Status ExternalSortOp::Next(Tuple* out, bool* eof) {
+  if (in_memory_) {
+    if (pos_ >= rows_.size()) {
+      *eof = true;
+      return Status::OK();
+    }
+    *eof = false;
+    *out = rows_[pos_++];
+    return Status::OK();
+  }
+
+  // K-way merge: linear scan over run heads (K is small).
+  RunCursor* best = nullptr;
+  for (auto& cursor : runs_) {
+    if (!cursor->has_current) continue;
+    if (best == nullptr ||
+        CompareValues(cursor->current.value(sort_key_),
+                      best->current.value(sort_key_)) < 0) {
+      best = cursor.get();
+    }
+  }
+  if (best == nullptr) {
+    *eof = true;
+    return Status::OK();
+  }
+  *eof = false;
+  *out = std::move(best->current);
+  return AdvanceCursor(best);
+}
+
+Status ExternalSortOp::Close() {
+  rows_.clear();
+  runs_.clear();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------- GraceHashJoin
+
+GraceHashJoinOp::GraceHashJoinOp(std::unique_ptr<Operator> outer,
+                                 std::unique_ptr<Operator> inner,
+                                 size_t left_key, size_t right_key,
+                                 const SpillConfig& config,
+                                 int num_partitions)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      left_key_(left_key),
+      right_key_(right_key),
+      config_(config),
+      num_partitions_(num_partitions),
+      schema_(Schema::Concat(outer_->schema(), inner_->schema())) {
+  XPRS_CHECK_GE(num_partitions, 2);
+}
+
+Status GraceHashJoinOp::ScanFile(
+    HeapFile* file, const Schema& schema,
+    const std::function<Status(Tuple)>& sink) {
+  Page page;
+  for (uint32_t p = 0; p < file->num_pages(); ++p) {
+    XPRS_RETURN_IF_ERROR(file->ReadPage(p, &page));
+    for (uint16_t s = 0; s < page.num_tuples(); ++s) {
+      const uint8_t* data;
+      uint16_t size;
+      XPRS_RETURN_IF_ERROR(page.GetTuple(s, &data, &size));
+      XPRS_ASSIGN_OR_RETURN(Tuple tuple,
+                            Tuple::Deserialize(schema, data, size));
+      XPRS_RETURN_IF_ERROR(sink(std::move(tuple)));
+    }
+  }
+  return Status::OK();
+}
+
+Status GraceHashJoinOp::PartitionInput(
+    Operator* input, const Schema& schema, size_t key,
+    std::vector<std::unique_ptr<HeapFile>>* parts) {
+  parts->clear();
+  for (int i = 0; i < num_partitions_; ++i) {
+    parts->push_back(std::make_unique<HeapFile>(
+        NextTempName("tmp_grace"), schema, config_.temp_array));
+  }
+  for (;;) {
+    Tuple tuple;
+    bool eof;
+    XPRS_RETURN_IF_ERROR(input->Next(&tuple, &eof));
+    if (eof) break;
+    int32_t k;
+    if (!KeyOf(tuple, key, &k)) continue;  // NULL keys join nothing
+    // Cheap integer hash spreading adjacent keys across partitions.
+    uint32_t h = static_cast<uint32_t>(k) * 2654435761u;
+    XPRS_RETURN_IF_ERROR(
+        (*parts)[h % static_cast<uint32_t>(num_partitions_)]->Append(tuple));
+  }
+  for (auto& f : *parts) XPRS_RETURN_IF_ERROR(f->Flush());
+  return Status::OK();
+}
+
+Status GraceHashJoinOp::LoadPartition(int index) {
+  table_.clear();
+  probe_rows_.clear();
+  probe_pos_ = 0;
+  XPRS_RETURN_IF_ERROR(ScanFile(
+      build_parts_[index].get(), inner_->schema(), [this](Tuple t) {
+        int32_t k;
+        if (KeyOf(t, right_key_, &k)) table_.emplace(k, std::move(t));
+        return Status::OK();
+      }));
+  XPRS_RETURN_IF_ERROR(ScanFile(
+      probe_parts_[index].get(), outer_->schema(), [this](Tuple t) {
+        probe_rows_.push_back(std::move(t));
+        return Status::OK();
+      }));
+  return Status::OK();
+}
+
+Status GraceHashJoinOp::Open() {
+  spilled_ = false;
+  table_.clear();
+  build_parts_.clear();
+  probe_parts_.clear();
+  probing_ = false;
+  current_partition_ = -1;
+
+  XPRS_RETURN_IF_ERROR(inner_->Open());
+  std::vector<Tuple> staged;
+  bool overflow = false;
+  for (;;) {
+    Tuple tuple;
+    bool eof;
+    XPRS_RETURN_IF_ERROR(inner_->Next(&tuple, &eof));
+    if (eof) break;
+    staged.push_back(std::move(tuple));
+    if (staged.size() > config_.memory_tuples) {
+      overflow = true;
+      break;
+    }
+  }
+
+  if (!overflow) {
+    // Fits: classic in-memory hash join over the staged build side.
+    XPRS_RETURN_IF_ERROR(inner_->Close());
+    for (Tuple& t : staged) {
+      int32_t k;
+      if (KeyOf(t, right_key_, &k)) table_.emplace(k, std::move(t));
+    }
+    return outer_->Open();
+  }
+
+  // Spill: partition the staged prefix plus the rest of the build input,
+  // then the whole probe input.
+  XPRS_CHECK_MSG(config_.temp_array != nullptr,
+                 "grace hash join needs a temp array to spill");
+  spilled_ = true;
+  build_parts_.clear();
+  for (int i = 0; i < num_partitions_; ++i) {
+    build_parts_.push_back(std::make_unique<HeapFile>(
+        NextTempName("tmp_grace"), inner_->schema(), config_.temp_array));
+  }
+  auto route = [this](const Tuple& t, size_t key,
+                      std::vector<std::unique_ptr<HeapFile>>* parts) {
+    int32_t k;
+    if (!KeyOf(t, key, &k)) return Status::OK();
+    uint32_t h = static_cast<uint32_t>(k) * 2654435761u;
+    return (*parts)[h % static_cast<uint32_t>(num_partitions_)]->Append(t);
+  };
+  for (const Tuple& t : staged)
+    XPRS_RETURN_IF_ERROR(route(t, right_key_, &build_parts_));
+  staged.clear();
+  for (;;) {
+    Tuple tuple;
+    bool eof;
+    XPRS_RETURN_IF_ERROR(inner_->Next(&tuple, &eof));
+    if (eof) break;
+    XPRS_RETURN_IF_ERROR(route(tuple, right_key_, &build_parts_));
+  }
+  XPRS_RETURN_IF_ERROR(inner_->Close());
+  for (auto& f : build_parts_) XPRS_RETURN_IF_ERROR(f->Flush());
+
+  XPRS_RETURN_IF_ERROR(outer_->Open());
+  XPRS_RETURN_IF_ERROR(
+      PartitionInput(outer_.get(), outer_->schema(), left_key_,
+                     &probe_parts_));
+  XPRS_RETURN_IF_ERROR(outer_->Close());
+
+  current_partition_ = 0;
+  return LoadPartition(0);
+}
+
+Status GraceHashJoinOp::Next(Tuple* out, bool* eof) {
+  *eof = false;
+  for (;;) {
+    if (probing_ && match_ != match_end_) {
+      *out = Tuple::Concat(probe_tuple_, match_->second);
+      ++match_;
+      return Status::OK();
+    }
+    probing_ = false;
+
+    if (!spilled_) {
+      bool outer_eof;
+      XPRS_RETURN_IF_ERROR(outer_->Next(&probe_tuple_, &outer_eof));
+      if (outer_eof) {
+        *eof = true;
+        return Status::OK();
+      }
+    } else {
+      while (probe_pos_ >= probe_rows_.size()) {
+        ++current_partition_;
+        if (current_partition_ >= num_partitions_) {
+          *eof = true;
+          return Status::OK();
+        }
+        XPRS_RETURN_IF_ERROR(LoadPartition(current_partition_));
+      }
+      probe_tuple_ = std::move(probe_rows_[probe_pos_++]);
+    }
+
+    int32_t key;
+    if (!KeyOf(probe_tuple_, left_key_, &key)) continue;
+    auto [lo, hi] = table_.equal_range(key);
+    match_ = lo;
+    match_end_ = hi;
+    probing_ = true;
+  }
+}
+
+Status GraceHashJoinOp::Close() {
+  table_.clear();
+  probe_rows_.clear();
+  build_parts_.clear();
+  probe_parts_.clear();
+  if (!spilled_) return outer_->Close();
+  return Status::OK();
+}
+
+}  // namespace xprs

@@ -1,0 +1,186 @@
+#include "opt/join_enum.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+const char* TreeShapeName(TreeShape shape) {
+  switch (shape) {
+    case TreeShape::kLeftDeep:
+      return "left-deep";
+    case TreeShape::kBushy:
+      return "bushy";
+  }
+  return "?";
+}
+
+JoinEnumerator::JoinEnumerator(const CostModel* model) : model_(model) {
+  XPRS_CHECK(model != nullptr);
+}
+
+CandidatePlan JoinEnumerator::BestAccessPath(const QuerySpec& query,
+                                             int rel) const {
+  const QuerySpec::BaseRel& base = query.relations[rel];
+  CandidatePlan seq;
+  seq.plan = MakeSeqScan(base.table, base.pred);
+  for (size_t c = 0; c < base.table->schema().num_columns(); ++c)
+    seq.colmap.push_back({rel, c});
+  seq.seqcost = model_->SeqCost(*seq.plan);
+
+  // Index alternative: only when the predicate actually narrows the key.
+  if (base.table->index() != nullptr && base.table->stats().has_key_bounds) {
+    KeyRange range{base.table->stats().min_key, base.table->stats().max_key};
+    if (base.pred.ExtractKeyRange(0, &range) && range.lo <= range.hi) {
+      CandidatePlan idx;
+      idx.plan = MakeIndexScan(base.table, base.pred, range);
+      idx.colmap = seq.colmap;
+      idx.seqcost = model_->SeqCost(*idx.plan);
+      if (idx.seqcost < seq.seqcost) return idx;
+    }
+  }
+  return seq;
+}
+
+bool JoinEnumerator::FindJoinPred(
+    const QuerySpec& query, const std::vector<std::pair<int, size_t>>& left_map,
+    uint32_t left_set, uint32_t right_set,
+    const std::vector<std::pair<int, size_t>>& right_map, size_t* left_col,
+    size_t* right_col) const {
+  auto find_col = [](const std::vector<std::pair<int, size_t>>& map, int rel,
+                     size_t col, size_t* out) {
+    for (size_t i = 0; i < map.size(); ++i) {
+      if (map[i].first == rel && map[i].second == col) {
+        *out = i;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& j : query.joins) {
+    bool l_in_left = (left_set >> j.left_rel) & 1;
+    bool r_in_right = (right_set >> j.right_rel) & 1;
+    if (l_in_left && r_in_right) {
+      if (find_col(left_map, j.left_rel, j.left_col, left_col) &&
+          find_col(right_map, j.right_rel, j.right_col, right_col))
+        return true;
+    }
+    bool r_in_left = (left_set >> j.right_rel) & 1;
+    bool l_in_right = (right_set >> j.left_rel) & 1;
+    if (r_in_left && l_in_right) {
+      if (find_col(left_map, j.right_rel, j.right_col, left_col) &&
+          find_col(right_map, j.left_rel, j.left_col, right_col))
+        return true;
+    }
+  }
+  return false;
+}
+
+std::vector<CandidatePlan> JoinEnumerator::JoinCandidates(
+    const QuerySpec& query, const CandidatePlan& left, uint32_t left_set,
+    const CandidatePlan& right, uint32_t right_set) const {
+  std::vector<CandidatePlan> out;
+  size_t lcol, rcol;
+  if (!FindJoinPred(query, left.colmap, left_set, right_set, right.colmap,
+                    &lcol, &rcol))
+    return out;
+
+  std::vector<std::pair<int, size_t>> colmap = left.colmap;
+  colmap.insert(colmap.end(), right.colmap.begin(), right.colmap.end());
+
+  auto add = [&](std::unique_ptr<PlanNode> plan) {
+    CandidatePlan c;
+    c.seqcost = model_->SeqCost(*plan);
+    c.plan = std::move(plan);
+    c.colmap = colmap;
+    out.push_back(std::move(c));
+  };
+
+  add(MakeHashJoin(left.plan->Clone(), right.plan->Clone(), lcol, rcol));
+  add(MakeMergeJoin(MakeSort(left.plan->Clone(), lcol),
+                    MakeSort(right.plan->Clone(), rcol), lcol, rcol));
+  add(MakeNestLoopJoin(left.plan->Clone(), right.plan->Clone(), lcol, rcol));
+  return out;
+}
+
+StatusOr<std::vector<CandidatePlan>> JoinEnumerator::Enumerate(
+    const QuerySpec& query, TreeShape shape, size_t per_subset) {
+  const int n = static_cast<int>(query.relations.size());
+  if (n == 0) return Status::InvalidArgument("query has no relations");
+  if (n > 20) return Status::InvalidArgument("too many relations (max 20)");
+
+  // dp[mask] = up to per_subset cheapest plans joining exactly that set.
+  std::map<uint32_t, std::vector<CandidatePlan>> dp;
+  for (int r = 0; r < n; ++r)
+    dp[1u << r].push_back(BestAccessPath(query, r));
+
+  auto keep_best = [per_subset](std::vector<CandidatePlan>* plans) {
+    std::sort(plans->begin(), plans->end(),
+              [](const CandidatePlan& a, const CandidatePlan& b) {
+                return a.seqcost < b.seqcost;
+              });
+    if (plans->size() > per_subset) plans->resize(per_subset);
+  };
+
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (__builtin_popcount(mask) < 2) continue;
+    std::vector<CandidatePlan> plans;
+    // Split mask into (sub, mask^sub).
+    for (uint32_t sub = (mask - 1) & mask; sub > 0;
+         sub = (sub - 1) & mask) {
+      uint32_t rest = mask ^ sub;
+      if (shape == TreeShape::kLeftDeep) {
+        // Inner must be a single base relation.
+        if (__builtin_popcount(rest) != 1) continue;
+      } else {
+        // Avoid double-counting symmetric partitions... keep both orders:
+        // operand order matters (build vs probe, outer vs inner).
+      }
+      auto li = dp.find(sub);
+      auto ri = dp.find(rest);
+      if (li == dp.end() || ri == dp.end()) continue;
+      for (const CandidatePlan& left : li->second) {
+        for (const CandidatePlan& right : ri->second) {
+          auto cands = JoinCandidates(query, left, sub, right, rest);
+          for (auto& c : cands) plans.push_back(std::move(c));
+        }
+      }
+    }
+    if (!plans.empty()) {
+      keep_best(&plans);
+      dp[mask] = std::move(plans);
+    }
+  }
+
+  auto it = dp.find(full);
+  if (it == dp.end() || it->second.empty())
+    return Status::InvalidArgument(
+        "join graph is disconnected (cross products unsupported)");
+  return std::move(it->second);
+}
+
+StatusOr<CandidatePlan> JoinEnumerator::BestPlan(const QuerySpec& query,
+                                                 TreeShape shape) {
+  if (query.relations.size() == 1) {
+    return BestAccessPath(query, 0);
+  }
+  XPRS_ASSIGN_OR_RETURN(std::vector<CandidatePlan> plans,
+                        Enumerate(query, shape, 1));
+  return std::move(plans.front());
+}
+
+StatusOr<std::vector<CandidatePlan>> JoinEnumerator::TopPlans(
+    const QuerySpec& query, size_t per_subset) {
+  if (query.relations.size() == 1) {
+    std::vector<CandidatePlan> out;
+    out.push_back(BestAccessPath(query, 0));
+    return out;
+  }
+  return Enumerate(query, TreeShape::kBushy, per_subset);
+}
+
+}  // namespace xprs

@@ -1,0 +1,78 @@
+// Join-order enumeration: System-R style dynamic programming over relation
+// subsets, producing left-deep or bushy sequential plans costed with the
+// CostModel ([HONG91]'s phase one), plus a top-K candidate enumeration used
+// by the §4 parcost-driven optimizer (for which local pruning is unsound,
+// so several plans per subset are retained).
+
+#ifndef XPRS_OPT_JOIN_ENUM_H_
+#define XPRS_OPT_JOIN_ENUM_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/plan.h"
+#include "opt/cost_model.h"
+#include "opt/query.h"
+
+namespace xprs {
+
+/// Plan-tree shape restriction for phase-one enumeration.
+enum class TreeShape { kLeftDeep, kBushy };
+
+const char* TreeShapeName(TreeShape shape);
+
+/// A costed candidate plan. `colmap[i]` gives (relation index, column
+/// index) of output column i.
+struct CandidatePlan {
+  std::unique_ptr<PlanNode> plan;
+  std::vector<std::pair<int, size_t>> colmap;
+  double seqcost = 0.0;
+};
+
+/// The enumerator. Handles up to 20 relations (bitset-bounded), though the
+/// exhaustive §4 path is only practical for small queries.
+class JoinEnumerator {
+ public:
+  explicit JoinEnumerator(const CostModel* model);
+
+  /// The cheapest (by seqcost) sequential plan of the requested shape.
+  /// Requires a connected join graph.
+  StatusOr<CandidatePlan> BestPlan(const QuerySpec& query, TreeShape shape);
+
+  /// Up to `per_subset` cheapest plans retained per relation subset,
+  /// bushy shapes included; returns the surviving complete plans ordered
+  /// by seqcost. Used by parcost-driven optimization where the best
+  /// parallel plan need not be the best sequential one.
+  StatusOr<std::vector<CandidatePlan>> TopPlans(const QuerySpec& query,
+                                                size_t per_subset);
+
+  /// The best access path (seq scan vs index scan) for one base relation.
+  CandidatePlan BestAccessPath(const QuerySpec& query, int rel) const;
+
+ private:
+  // All join-method alternatives combining `left` and `right` (which must
+  // be joinable via the query's equi-join graph).
+  std::vector<CandidatePlan> JoinCandidates(const QuerySpec& query,
+                                            const CandidatePlan& left,
+                                            uint32_t left_set,
+                                            const CandidatePlan& right,
+                                            uint32_t right_set) const;
+
+  // Finds an equi-join connecting the two sets; false if none.
+  bool FindJoinPred(const QuerySpec& query,
+                    const std::vector<std::pair<int, size_t>>& left_map,
+                    uint32_t left_set, uint32_t right_set,
+                    const std::vector<std::pair<int, size_t>>& right_map,
+                    size_t* left_col, size_t* right_col) const;
+
+  StatusOr<std::vector<CandidatePlan>> Enumerate(const QuerySpec& query,
+                                                 TreeShape shape,
+                                                 size_t per_subset);
+
+  const CostModel* const model_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_OPT_JOIN_ENUM_H_

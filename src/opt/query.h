@@ -1,0 +1,36 @@
+// Query specification consumed by the optimizer: base relations with
+// selection predicates plus an equi-join graph.
+
+#ifndef XPRS_OPT_QUERY_H_
+#define XPRS_OPT_QUERY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/expr.h"
+#include "storage/catalog.h"
+
+namespace xprs {
+
+/// A conjunctive select-project-join query.
+struct QuerySpec {
+  struct BaseRel {
+    Table* table = nullptr;
+    /// Selection on this relation (column indexes are relative to the
+    /// relation's own schema).
+    Predicate pred;
+  };
+  std::vector<BaseRel> relations;
+
+  struct EquiJoin {
+    int left_rel = 0;
+    size_t left_col = 0;
+    int right_rel = 0;
+    size_t right_col = 0;
+  };
+  std::vector<EquiJoin> joins;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_OPT_QUERY_H_

@@ -1,0 +1,156 @@
+#include "opt/two_phase.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+std::string OptimizedQuery::ToString() const {
+  return StrFormat(
+      "OptimizedQuery{seqcost=%.3fs parcost=%.3fs fragments=%zu %s}\n%s",
+      seqcost, parcost, profiles.size(),
+      IsLeftDeep(*plan) ? "left-deep" : "bushy", plan->ToString().c_str());
+}
+
+TwoPhaseOptimizer::TwoPhaseOptimizer(const MachineConfig& machine,
+                                     const CostModel* model,
+                                     const SchedulerOptions& sched_options)
+    : machine_(machine), model_(model), sched_options_(sched_options) {
+  XPRS_CHECK(model != nullptr);
+}
+
+double TwoPhaseOptimizer::ParCost(const PlanNode& plan,
+                                  int64_t query_id) const {
+  FragmentGraph graph = FragmentGraph::Decompose(plan);
+  std::vector<TaskProfile> profiles =
+      model_->FragmentProfiles(graph, query_id);
+
+  // T_n(F(p)): run the adaptive scheduling algorithm itself over the
+  // estimated profiles, on an idealized fluid machine (instant adjustment,
+  // no process overhead) — the cost-estimation counterpart of §2.5.
+  AdaptiveScheduler scheduler(machine_, sched_options_);
+  SimOptions sim_options;
+  sim_options.adjust_latency = 0.0;
+  sim_options.process_overhead = 0.0;
+  sim_options.excess_penalty = 0.0;
+  FluidSimulator sim(machine_, sim_options);
+  SimResult result = sim.Run(&scheduler, profiles);
+  return result.elapsed;
+}
+
+OptimizedQuery TwoPhaseOptimizer::Finalize(CandidatePlan candidate,
+                                           int64_t query_id) const {
+  OptimizedQuery out;
+  out.seqcost = candidate.seqcost;
+  out.parcost = ParCost(*candidate.plan, query_id);
+  out.plan = std::move(candidate.plan);
+  out.colmap = std::move(candidate.colmap);
+  FragmentGraph graph = FragmentGraph::Decompose(*out.plan);
+  out.profiles = model_->FragmentProfiles(graph, query_id);
+  return out;
+}
+
+StatusOr<OptimizedQuery> TwoPhaseOptimizer::Optimize(const QuerySpec& query,
+                                                     TreeShape shape) {
+  JoinEnumerator enumerator(model_);
+  XPRS_ASSIGN_OR_RETURN(CandidatePlan best, enumerator.BestPlan(query, shape));
+  return Finalize(std::move(best), /*query_id=*/0);
+}
+
+double TwoPhaseOptimizer::BatchCost(
+    const std::vector<const PlanNode*>& plans) const {
+  std::vector<TaskProfile> all;
+  for (size_t qi = 0; qi < plans.size(); ++qi) {
+    XPRS_CHECK(plans[qi] != nullptr);
+    FragmentGraph graph = FragmentGraph::Decompose(*plans[qi]);
+    std::vector<TaskProfile> profiles = model_->FragmentProfiles(
+        graph, static_cast<int64_t>(qi), static_cast<TaskId>(qi) * 100000);
+    all.insert(all.end(), profiles.begin(), profiles.end());
+  }
+  AdaptiveScheduler scheduler(machine_, sched_options_);
+  SimOptions sim_options;
+  sim_options.adjust_latency = 0.0;
+  sim_options.process_overhead = 0.0;
+  sim_options.excess_penalty = 0.0;
+  FluidSimulator sim(machine_, sim_options);
+  return sim.Run(&scheduler, all).elapsed;
+}
+
+StatusOr<std::vector<OptimizedQuery>> TwoPhaseOptimizer::OptimizeBatch(
+    const std::vector<QuerySpec>& queries, double* batch_makespan,
+    size_t per_subset, int max_rounds) {
+  XPRS_CHECK(batch_makespan != nullptr);
+  JoinEnumerator enumerator(model_);
+
+  // Candidate sets per query.
+  std::vector<std::vector<CandidatePlan>> candidates;
+  candidates.reserve(queries.size());
+  for (const QuerySpec& q : queries) {
+    XPRS_ASSIGN_OR_RETURN(std::vector<CandidatePlan> cands,
+                          enumerator.TopPlans(q, per_subset));
+    XPRS_CHECK(!cands.empty());
+    candidates.push_back(std::move(cands));
+  }
+
+  // Start from each query's best-seqcost plan; improve one coordinate at
+  // a time against the *batch* makespan.
+  std::vector<size_t> choice(queries.size(), 0);
+  auto chosen_plans = [&]() {
+    std::vector<const PlanNode*> plans;
+    for (size_t qi = 0; qi < queries.size(); ++qi)
+      plans.push_back(candidates[qi][choice[qi]].plan.get());
+    return plans;
+  };
+  double best = BatchCost(chosen_plans());
+
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      size_t original = choice[qi];
+      for (size_t ci = 0; ci < candidates[qi].size(); ++ci) {
+        if (ci == original) continue;
+        choice[qi] = ci;
+        double cost = BatchCost(chosen_plans());
+        if (cost + 1e-9 < best) {
+          best = cost;
+          original = ci;
+          improved = true;
+        }
+      }
+      choice[qi] = original;
+    }
+    if (!improved) break;
+  }
+
+  *batch_makespan = best;
+  std::vector<OptimizedQuery> out;
+  out.reserve(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    out.push_back(Finalize(std::move(candidates[qi][choice[qi]]),
+                           static_cast<int64_t>(qi)));
+  }
+  return out;
+}
+
+StatusOr<OptimizedQuery> TwoPhaseOptimizer::OptimizeParCost(
+    const QuerySpec& query, size_t per_subset) {
+  JoinEnumerator enumerator(model_);
+  XPRS_ASSIGN_OR_RETURN(std::vector<CandidatePlan> candidates,
+                        enumerator.TopPlans(query, per_subset));
+  XPRS_CHECK(!candidates.empty());
+
+  size_t best_idx = 0;
+  double best_parcost = 0.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double pc = ParCost(*candidates[i].plan, /*query_id=*/0);
+    if (i == 0 || pc < best_parcost) {
+      best_parcost = pc;
+      best_idx = i;
+    }
+  }
+  return Finalize(std::move(candidates[best_idx]), /*query_id=*/0);
+}
+
+}  // namespace xprs

@@ -1,0 +1,90 @@
+// Two-phase optimization of parallel execution plans (paper §4, extending
+// [HONG91]).
+//
+// Phase one (compile time) chooses a sequential plan by seqcost; phase two
+// (run time) parallelizes it: the plan is decomposed into fragments whose
+// TaskProfiles feed the adaptive scheduler. The §4 extension estimates
+//
+//     parcost(p, n) = T_n(F(p))
+//
+// by *running the actual scheduling algorithm* (over the fluid resource
+// model) on the estimated fragment profiles — the same code path that
+// executes real schedules — and can optimize bushy plans directly against
+// parcost. Because parcost depends on the whole plan tree, local pruning is
+// unsound; the parcost path therefore evaluates a top-K candidate set from
+// the enumerator.
+
+#ifndef XPRS_OPT_TWO_PHASE_H_
+#define XPRS_OPT_TWO_PHASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/join_enum.h"
+#include "sched/scheduler.h"
+#include "sim/fluid_sim.h"
+
+namespace xprs {
+
+/// A fully optimized query: the sequential plan, its fragment DAG, the
+/// fragments' estimated TaskProfiles, and both cost figures.
+struct OptimizedQuery {
+  std::unique_ptr<PlanNode> plan;
+  std::vector<std::pair<int, size_t>> colmap;
+  double seqcost = 0.0;
+  double parcost = 0.0;
+  /// Fragment profiles (ids are fragment ids; deps wired).
+  std::vector<TaskProfile> profiles;
+
+  std::string ToString() const;
+};
+
+/// The XPRS optimizer + parallelizer pair.
+class TwoPhaseOptimizer {
+ public:
+  TwoPhaseOptimizer(const MachineConfig& machine, const CostModel* model,
+                    const SchedulerOptions& sched_options = SchedulerOptions());
+
+  /// parcost(p, n): elapsed time of the plan's fragment schedule under the
+  /// adaptive scheduling algorithm on the configured machine (§4).
+  double ParCost(const PlanNode& plan, int64_t query_id = 0) const;
+
+  /// Classic two-phase optimization: phase one picks the best sequential
+  /// plan of `shape` by seqcost; phase two parallelizes it.
+  StatusOr<OptimizedQuery> Optimize(const QuerySpec& query,
+                                    TreeShape shape = TreeShape::kLeftDeep);
+
+  /// §4 single-user optimization: evaluates parcost on a top-K candidate
+  /// set (bushy shapes included) and returns the plan with the smallest
+  /// parcost.
+  StatusOr<OptimizedQuery> OptimizeParCost(const QuerySpec& query,
+                                           size_t per_subset = 3);
+
+  /// Estimated makespan of running the given already-optimized queries
+  /// together: all fragment profiles are submitted to one adaptive
+  /// schedule (task ids remapped per query).
+  double BatchCost(const std::vector<const PlanNode*>& plans) const;
+
+  /// §5 future-work extension: joint optimization of a query batch. Each
+  /// query contributes a top-K candidate set; the combination minimizing
+  /// the *combined* makespan under the adaptive scheduler is found by
+  /// greedy coordinate descent (a candidate change is kept only if the
+  /// batch makespan improves). Returns one OptimizedQuery per input, in
+  /// order; their `parcost` fields hold the standalone parcost, and the
+  /// achieved batch makespan is returned through *batch_makespan.
+  StatusOr<std::vector<OptimizedQuery>> OptimizeBatch(
+      const std::vector<QuerySpec>& queries, double* batch_makespan,
+      size_t per_subset = 3, int max_rounds = 4);
+
+ private:
+  OptimizedQuery Finalize(CandidatePlan candidate, int64_t query_id) const;
+
+  MachineConfig machine_;
+  const CostModel* const model_;
+  SchedulerOptions sched_options_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_OPT_TWO_PHASE_H_

@@ -1,0 +1,138 @@
+#include "parallel/master.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace xprs {
+
+ParallelMaster::ParallelMaster(const MachineConfig& machine,
+                               const CostModel* model,
+                               const MasterOptions& options)
+    : machine_(machine), model_(model), options_(options) {
+  XPRS_CHECK(model != nullptr);
+}
+
+double ParallelMaster::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void ParallelMaster::StartTask(TaskId id, double parallelism) {
+  TaskState& task = tasks_.at(id);
+  XPRS_CHECK(task.run == nullptr);
+  QueryState& query = queries_[task.query_index];
+
+  // Wire the materialized inputs from completed dependency fragments.
+  std::map<int, const TempResult*> inputs;
+  for (int dep : query.graph.fragment(task.frag_id).deps) {
+    TaskState& dep_task = tasks_.at(query.task_ids[dep]);
+    XPRS_CHECK_MSG(dep_task.completed, "scheduler started task before dep");
+    inputs[dep] = &dep_task.result;
+  }
+
+  ParallelFragmentRun::Options run_options;
+  run_options.initial_parallelism = std::max(
+      1, static_cast<int>(std::llround(parallelism)));
+  run_options.max_slots =
+      std::max(options_.max_slots, run_options.initial_parallelism);
+  run_options.ctx = options_.ctx;
+
+  task.run = std::make_unique<ParallelFragmentRun>(
+      &query.graph, task.frag_id, std::move(inputs), run_options);
+  task.run->set_on_finish([this, id] {
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_queue_.push_back(id);
+    }
+    done_cv_.notify_all();
+  });
+  XPRS_CHECK_OK(task.run->Start());
+}
+
+void ParallelMaster::AdjustParallelism(TaskId id, double parallelism) {
+  TaskState& task = tasks_.at(id);
+  XPRS_CHECK(task.run != nullptr);
+  task.run->Adjust(std::max(1, static_cast<int>(std::llround(parallelism))));
+}
+
+double ParallelMaster::RemainingSeqTime(TaskId id) const {
+  const TaskState& task = tasks_.at(id);
+  if (task.run == nullptr) return task.profile.seq_time;
+  double left = 1.0 - task.run->Progress();
+  return std::max(0.0, task.profile.seq_time * left);
+}
+
+StatusOr<MasterRunResult> ParallelMaster::Run(
+    const std::vector<QueryJob>& queries) {
+  queries_.clear();
+  tasks_.clear();
+  done_queue_.clear();
+
+  // Decompose and profile every query.
+  std::vector<TaskProfile> all_profiles;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    XPRS_CHECK(queries[qi].plan != nullptr);
+    QueryState qs;
+    qs.job = queries[qi];
+    qs.graph = FragmentGraph::Decompose(*queries[qi].plan);
+    TaskId base = static_cast<TaskId>(qi) * kTaskIdStride;
+    XPRS_CHECK_LT(qs.graph.fragments().size(),
+                  static_cast<size_t>(kTaskIdStride));
+    std::vector<TaskProfile> profiles =
+        model_->FragmentProfiles(qs.graph, queries[qi].query_id, base);
+    for (const Fragment& frag : qs.graph.fragments()) {
+      TaskId id = base + frag.id;
+      qs.task_ids.push_back(id);
+      TaskState ts;
+      ts.query_index = static_cast<int>(qi);
+      ts.frag_id = frag.id;
+      ts.profile = profiles[frag.id];
+      tasks_[id] = std::move(ts);
+    }
+    all_profiles.insert(all_profiles.end(), profiles.begin(), profiles.end());
+    queries_.push_back(std::move(qs));
+  }
+
+  AdaptiveScheduler scheduler(machine_, options_.sched);
+  scheduler.Bind(this);
+  start_ = std::chrono::steady_clock::now();
+  scheduler.SubmitBatch(all_profiles);
+
+  MasterRunResult result;
+  size_t completed = 0;
+  while (completed < tasks_.size()) {
+    TaskId id;
+    {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      done_cv_.wait(lock, [this] { return !done_queue_.empty(); });
+      id = done_queue_.front();
+      done_queue_.pop_front();
+    }
+    TaskState& task = tasks_.at(id);
+    auto temp = task.run->Wait();
+    if (!temp.ok()) return temp.status();
+    task.result = std::move(temp).value();
+    task.completed = true;
+    result.task_finish_times[id] = Now();
+    ++completed;
+    // The scheduler may immediately start or adjust other tasks here.
+    scheduler.OnTaskFinished(id);
+  }
+  XPRS_CHECK(scheduler.Idle());
+
+  result.elapsed_seconds = Now();
+  result.num_adjustments = scheduler.num_adjustments();
+  for (auto& qs : queries_) {
+    TaskId root = qs.task_ids[qs.graph.root_fragment()];
+    result.query_results[qs.job.query_id] =
+        std::move(tasks_.at(root).result.tuples);
+  }
+  return result;
+}
+
+}  // namespace xprs

@@ -1,0 +1,106 @@
+// ParallelMaster: the XPRS master backend (Figure 2).
+//
+// Takes a batch of optimized queries, decomposes each plan into fragments,
+// estimates their TaskProfiles with the cost model, and drives the
+// adaptive scheduler against *real* slave-backend threads: StartTask spawns
+// a ParallelFragmentRun at the commanded degree of parallelism,
+// AdjustParallelism triggers the §2.4 shared-memory adjustment protocol on
+// the running fragment, and fragment completions feed back into the
+// scheduler, which re-pairs and re-balances.
+//
+// On this container (a single hardware core) the wall-clock numbers carry
+// no performance meaning — the fluid simulator is the performance
+// substrate (DESIGN.md) — but the full control loop, including dynamic
+// adjustment under concurrency, is exercised for real.
+
+#ifndef XPRS_PARALLEL_MASTER_H_
+#define XPRS_PARALLEL_MASTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "opt/cost_model.h"
+#include "parallel/fragment_run.h"
+#include "sched/scheduler.h"
+
+namespace xprs {
+
+/// One query handed to the master: a sequential plan to parallelize.
+struct QueryJob {
+  const PlanNode* plan = nullptr;
+  int64_t query_id = 0;
+};
+
+/// Outcome of a master run.
+struct MasterRunResult {
+  double elapsed_seconds = 0.0;
+  /// Final output tuples per query.
+  std::map<int64_t, std::vector<Tuple>> query_results;
+  /// Dynamic adjustments issued by the scheduler.
+  size_t num_adjustments = 0;
+  /// Wall-clock finish time (seconds since run start) per task.
+  std::map<TaskId, double> task_finish_times;
+};
+
+/// Master backend options.
+struct MasterOptions {
+  SchedulerOptions sched;
+  ExecContext ctx;
+  /// Upper bound on slave slots per fragment run.
+  int max_slots = 16;
+};
+
+/// The master backend. Not reusable across Run() calls concurrently.
+class ParallelMaster : public ExecutionEnv {
+ public:
+  ParallelMaster(const MachineConfig& machine, const CostModel* model,
+                 const MasterOptions& options);
+
+  /// Runs all queries to completion under the configured policy.
+  StatusOr<MasterRunResult> Run(const std::vector<QueryJob>& queries);
+
+  // --- ExecutionEnv (invoked by the scheduler on the master thread) ---
+  double Now() const override;
+  void StartTask(TaskId id, double parallelism) override;
+  void AdjustParallelism(TaskId id, double parallelism) override;
+  double RemainingSeqTime(TaskId id) const override;
+
+ private:
+  struct TaskState {
+    int query_index = -1;
+    int frag_id = -1;
+    TaskProfile profile;
+    std::unique_ptr<ParallelFragmentRun> run;
+    TempResult result;
+    bool completed = false;
+  };
+  struct QueryState {
+    QueryJob job;
+    FragmentGraph graph;
+    std::vector<TaskId> task_ids;  // per fragment id
+  };
+
+  /// Task ids are query_index * kTaskIdStride + fragment id.
+  static constexpr TaskId kTaskIdStride = 1000;
+
+  MachineConfig machine_;
+  const CostModel* const model_;
+  MasterOptions options_;
+
+  std::vector<QueryState> queries_;
+  std::map<TaskId, TaskState> tasks_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::deque<TaskId> done_queue_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_PARALLEL_MASTER_H_

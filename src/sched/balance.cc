@@ -1,0 +1,169 @@
+#include "sched/balance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+std::string BalancePoint::ToString() const {
+  if (!valid) return "BalancePoint{invalid}";
+  return StrFormat("BalancePoint{xi=%.2f xj=%.2f B=%.1f%s}", xi, xj,
+                   effective_bandwidth, exact ? "" : " approx");
+}
+
+double EffectiveBandwidth(const MachineConfig& machine,
+                          const std::vector<IoStream>& streams) {
+  const double br = machine.rand_bandwidth();
+
+  double total = 0.0;
+  for (const auto& s : streams) total += s.rate;
+  if (total <= 0.0) return machine.seq_bandwidth();
+
+  // Special case: a single stream sees its own pattern's ceiling.
+  size_t active = 0;
+  const IoStream* only = nullptr;
+  for (const auto& s : streams) {
+    if (s.rate > 0.0) {
+      ++active;
+      only = &s;
+    }
+  }
+  if (active == 1) {
+    return machine.single_stream_bandwidth(only->pattern, only->parallelism);
+  }
+
+  // Multiple streams: the dominant sequential stream (if any) preserves a
+  // fraction w of the gap between sequential and random bandwidth, where w
+  // is how much its traffic exceeds everybody else's combined.
+  // With streams u >= v (both sequential) this is w = (u - v) / u =
+  // 1 - v/u, i.e. the paper's B = Br + (1 - Ci xi / Cj xj)(Bs - Br).
+  double w = 0.0;
+  for (const auto& s : streams) {
+    if (s.pattern != IoPattern::kSequential || s.rate <= 0.0) continue;
+    double rest = total - s.rate;
+    w = std::max(w, (s.rate - rest) / s.rate);
+  }
+  w = std::clamp(w, 0.0, 1.0);
+  // The paper's equation blends toward the strict sequential bandwidth Bs;
+  // concurrent parallel streams are additionally capped at the
+  // almost-sequential ceiling (reads become unordered, §3), so a strongly
+  // io-dominant pair still achieves the full nominal bandwidth.
+  const double raw = br + w * (machine.seq_bandwidth() - br);
+  return std::min(raw, machine.almost_seq_bandwidth());
+}
+
+BalancePoint SolveBalanceConstantB(double ci, double cj, int num_cpus,
+                                   double bandwidth) {
+  BalancePoint bp;
+  const double n = static_cast<double>(num_cpus);
+  const double b = bandwidth;
+  // Order so that ci is the larger rate; remember whether we swapped.
+  bool swapped = false;
+  if (ci < cj) {
+    std::swap(ci, cj);
+    swapped = true;
+  }
+  if (ci <= cj) return bp;  // equal rates: the system is a single line.
+  double xi = (b - cj * n) / (ci - cj);
+  double xj = (ci * n - b) / (ci - cj);
+  if (xi <= 0.0 || xj <= 0.0) return bp;  // both tasks on one side of B/N.
+  bp.valid = true;
+  bp.exact = true;
+  bp.xi = swapped ? xj : xi;
+  bp.xj = swapped ? xi : xj;
+  bp.effective_bandwidth = b;
+  return bp;
+}
+
+namespace {
+
+// Residual of the coupled balance equations at a given split: io demand
+// minus effective bandwidth, with x_j = N - x_i.
+double Residual(double xi, double ci, double cj, IoPattern pi, IoPattern pj,
+                int num_cpus, const MachineConfig& machine) {
+  const double xj = static_cast<double>(num_cpus) - xi;
+  std::vector<IoStream> streams = {{ci * xi, pi, xi}, {cj * xj, pj, xj}};
+  return ci * xi + cj * xj - EffectiveBandwidth(machine, streams);
+}
+
+}  // namespace
+
+BalancePoint SolveBalance(const TaskProfile& ti, const TaskProfile& tj,
+                          const MachineConfig& machine,
+                          bool model_seek_interference) {
+  const double ci = ti.io_rate();
+  const double cj = tj.io_rate();
+  const int n = machine.num_cpus;
+
+  if (!model_seek_interference) {
+    return SolveBalanceConstantB(ci, cj, n, machine.nominal_bandwidth());
+  }
+
+  // Both streams random: the effective bandwidth is the constant random
+  // bandwidth, so the closed form applies directly.
+  if (ti.pattern == IoPattern::kRandom && tj.pattern == IoPattern::kRandom) {
+    return SolveBalanceConstantB(ci, cj, n, machine.rand_bandwidth());
+  }
+
+  // Scan x_i over (0, N) for sign changes of the residual, bisect each
+  // bracket, and keep the root with the highest effective bandwidth.
+  constexpr int kScanSteps = 2048;
+  constexpr int kBisectIters = 60;
+  const double dn = static_cast<double>(n);
+  BalancePoint best;
+
+  auto eval = [&](double xi) {
+    return Residual(xi, ci, cj, ti.pattern, tj.pattern, n, machine);
+  };
+
+  double prev_x = dn * 1e-6;
+  double prev_f = eval(prev_x);
+  for (int k = 1; k <= kScanSteps; ++k) {
+    double x = dn * (static_cast<double>(k) / kScanSteps);
+    if (k == kScanSteps) x = dn * (1.0 - 1e-6);
+    double f = eval(x);
+    if ((prev_f <= 0.0 && f >= 0.0) || (prev_f >= 0.0 && f <= 0.0)) {
+      // Bisect [prev_x, x].
+      double lo = prev_x, hi = x, flo = prev_f;
+      for (int it = 0; it < kBisectIters; ++it) {
+        double mid = 0.5 * (lo + hi);
+        double fm = eval(mid);
+        if ((flo <= 0.0) == (fm <= 0.0)) {
+          lo = mid;
+          flo = fm;
+        } else {
+          hi = mid;
+        }
+      }
+      double xi = 0.5 * (lo + hi);
+      double xj = dn - xi;
+      if (xi > 1e-9 && xj > 1e-9) {
+        std::vector<IoStream> streams = {{ci * xi, ti.pattern, xi},
+                                         {cj * xj, tj.pattern, xj}};
+        double beff = EffectiveBandwidth(machine, streams);
+        if (!best.valid || beff > best.effective_bandwidth) {
+          best.valid = true;
+          best.exact = true;
+          best.xi = xi;
+          best.xj = xj;
+          best.effective_bandwidth = beff;
+        }
+      }
+    }
+    prev_x = x;
+    prev_f = f;
+  }
+  if (best.valid) return best;
+
+  // No coupled root: fall back to the constant-B closed form if it admits
+  // one (marked approximate so callers can tell).
+  BalancePoint fallback =
+      SolveBalanceConstantB(ci, cj, n, machine.nominal_bandwidth());
+  fallback.exact = false;
+  return fallback;
+}
+
+}  // namespace xprs

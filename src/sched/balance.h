@@ -1,0 +1,88 @@
+// IO-CPU balance point calculation (paper §2.3).
+//
+// Running an IO-bound task f_i at parallelism x_i together with a CPU-bound
+// task f_j at x_j puts the system at point (x_i + x_j, C_i x_i + C_j x_j) in
+// the (parallelism, io-rate) plane. The balance point is the solution of
+//
+//     x_i + x_j = N
+//     C_i x_i + C_j x_j = B
+//
+// which drives both the processors and the disks to full utilization. When
+// both tasks issue sequential i/o the effective bandwidth B itself depends
+// on how disk time is split between the two streams (seeks between the
+// streams degrade it toward the random bandwidth), which couples the
+// equations; SolveBalance handles that case by a root scan.
+
+#ifndef XPRS_SCHED_BALANCE_H_
+#define XPRS_SCHED_BALANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/machine.h"
+#include "sched/task.h"
+
+namespace xprs {
+
+/// One concurrent i/o stream as seen by the disk array.
+struct IoStream {
+  /// Demanded io rate in io/s (C_i * x_i for a task at parallelism x_i).
+  double rate = 0.0;
+  /// Access pattern of the stream.
+  IoPattern pattern = IoPattern::kSequential;
+  /// Parallelism of the issuing task (a lone single-process sequential
+  /// stream sees the strict sequential bandwidth).
+  double parallelism = 1.0;
+};
+
+/// Effective aggregate disk bandwidth for a set of concurrent streams.
+///
+/// Implements the paper's §2.3 degradation rule, generalized: let u be the
+/// rate of the dominant sequential stream and r the fraction of io traffic
+/// coming from other streams relative to u. The disks achieve
+/// B = Br + w * (Btop - Br) with w = max(0, (u - rest) / u): when one
+/// sequential stream fully dominates, B -> Btop (sequential bandwidth);
+/// when traffic is split evenly or a random stream dominates, B -> Br.
+/// For exactly two sequential streams this reduces to the paper's equation
+/// B = Br + (1 - C_i x_i / C_j x_j)(Bs - Br) for C_i x_i < C_j x_j.
+double EffectiveBandwidth(const MachineConfig& machine,
+                          const std::vector<IoStream>& streams);
+
+/// Result of a balance point computation.
+struct BalancePoint {
+  /// True iff a positive solution exists (requires one task on each side of
+  /// the B/N threshold for the constant-B case).
+  bool valid = false;
+  /// True iff the returned point exactly satisfies the (possibly coupled)
+  /// equations; false when it is the constant-B fallback approximation.
+  bool exact = false;
+  /// Parallelism degrees (continuous; callers round for real execution).
+  double xi = 0.0;
+  double xj = 0.0;
+  /// The effective aggregate bandwidth at the balance point.
+  double effective_bandwidth = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Closed-form balance point with a constant bandwidth B (§2.3):
+///   x_i = (B - C_j N) / (C_i - C_j),  x_j = (C_i N - B) / (C_i - C_j).
+/// Valid iff C_i > B/N > C_j (after ordering) and both degrees positive.
+BalancePoint SolveBalanceConstantB(double ci, double cj, int num_cpus,
+                                   double bandwidth);
+
+/// Balance point between two tasks accounting for bandwidth degradation
+/// between their i/o streams (§2.3). With `model_seek_interference` the
+/// effective bandwidth from EffectiveBandwidth() is used, which couples the
+/// equations; they are solved by a sign-change scan plus bisection on x_i.
+/// Among multiple roots, the one with the highest effective bandwidth (the
+/// least seek interference) is returned. Falls back to the constant-B
+/// closed form (marked !exact) if the scan finds no root while the
+/// constant-B classification admits one.
+BalancePoint SolveBalance(const TaskProfile& ti, const TaskProfile& tj,
+                          const MachineConfig& machine,
+                          bool model_seek_interference = true);
+
+}  // namespace xprs
+
+#endif  // XPRS_SCHED_BALANCE_H_

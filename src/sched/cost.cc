@@ -1,0 +1,55 @@
+#include "sched/cost.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+double TIntra(const TaskProfile& task, const MachineConfig& machine) {
+  XPRS_CHECK_GT(task.seq_time, 0.0);
+  return task.seq_time / MaxParallelism(task, machine);
+}
+
+std::string InterCost::ToString() const {
+  if (!valid) return "InterCost{invalid}";
+  return StrFormat("InterCost{T=%.3fs %s first=%lld Tij=%.3fs}", t_inter,
+                   point.ToString().c_str(),
+                   static_cast<long long>(first_finisher),
+                   remaining_seq_time);
+}
+
+InterCost TInter(const TaskProfile& ti, const TaskProfile& tj,
+                 const MachineConfig& machine,
+                 bool model_seek_interference) {
+  InterCost out;
+  BalancePoint bp = SolveBalance(ti, tj, machine, model_seek_interference);
+  if (!bp.valid) return out;
+
+  const double fin_i = ti.seq_time / bp.xi;
+  const double fin_j = tj.seq_time / bp.xj;
+
+  // T_ij: the longer task keeps its io rate, so its remaining sequential
+  // time shrinks by x * elapsed.
+  double t_ij;
+  double maxp_ij;
+  if (fin_i > fin_j) {
+    out.first_finisher = tj.id;
+    t_ij = ti.seq_time - tj.seq_time * bp.xi / bp.xj;
+    maxp_ij = MaxParallelism(ti, machine);
+  } else {
+    out.first_finisher = ti.id;
+    t_ij = tj.seq_time - ti.seq_time * bp.xj / bp.xi;
+    maxp_ij = MaxParallelism(tj, machine);
+  }
+  t_ij = std::max(t_ij, 0.0);
+
+  out.valid = true;
+  out.point = bp;
+  out.remaining_seq_time = t_ij;
+  out.t_inter = std::min(fin_i, fin_j) + t_ij / maxp_ij;
+  return out;
+}
+
+}  // namespace xprs

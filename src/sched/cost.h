@@ -1,0 +1,52 @@
+// Execution-time estimates for intra-only and paired (inter-operation)
+// execution (paper §2.5).
+//
+//   T_intra(f_i)        = T_i / maxp(f_i)
+//   T_inter(f_i, f_j)   = min(T_i/x_i, T_j/x_j) + T_ij / maxp_ij
+//
+// where (x_i, x_j) is the IO-CPU balance point, T_ij is the sequential time
+// remaining in the longer task when the shorter finishes, and maxp_ij is
+// the maximum parallelism of that remaining task.
+
+#ifndef XPRS_SCHED_COST_H_
+#define XPRS_SCHED_COST_H_
+
+#include <string>
+
+#include "sched/balance.h"
+#include "sched/machine.h"
+#include "sched/task.h"
+
+namespace xprs {
+
+/// Elapsed time of running the task alone with maximum intra-operation
+/// parallelism: T_i / maxp(f_i).
+double TIntra(const TaskProfile& task, const MachineConfig& machine);
+
+/// Result of the paired-execution estimate.
+struct InterCost {
+  /// False when no balance point exists (both tasks on one side of B/N);
+  /// the remaining fields are meaningless in that case.
+  bool valid = false;
+  /// Estimated elapsed time of the paired execution.
+  double t_inter = 0.0;
+  /// The balance point used.
+  BalancePoint point;
+  /// Id of the task estimated to finish first at the balance point.
+  TaskId first_finisher = -1;
+  /// Sequential time remaining in the other task at that moment (T_ij).
+  double remaining_seq_time = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Estimated elapsed time of running f_i and f_j in parallel at their
+/// IO-CPU balance point, finishing the survivor alone at its maximum
+/// parallelism (§2.5).
+InterCost TInter(const TaskProfile& ti, const TaskProfile& tj,
+                 const MachineConfig& machine,
+                 bool model_seek_interference = true);
+
+}  // namespace xprs
+
+#endif  // XPRS_SCHED_COST_H_

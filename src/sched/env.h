@@ -1,0 +1,40 @@
+// ExecutionEnv: the interface through which the adaptive scheduler drives
+// an execution substrate.
+//
+// Two substrates implement it: the deterministic fluid simulator
+// (xprs::FluidSimulator, used for all performance experiments) and the
+// real-thread parallel executor adapter (xprs::ParallelEnv). The scheduler
+// issues StartTask / AdjustParallelism commands; the substrate calls back
+// into the scheduler on arrivals and completions.
+
+#ifndef XPRS_SCHED_ENV_H_
+#define XPRS_SCHED_ENV_H_
+
+#include "sched/task.h"
+
+namespace xprs {
+
+/// Substrate interface the scheduler issues commands to.
+class ExecutionEnv {
+ public:
+  virtual ~ExecutionEnv() = default;
+
+  /// Current time in seconds.
+  virtual double Now() const = 0;
+
+  /// Begins executing a submitted task with the given degree of
+  /// intra-operation parallelism. The task must be runable and not running.
+  virtual void StartTask(TaskId id, double parallelism) = 0;
+
+  /// Adjusts the degree of parallelism of a running task (the §2.4
+  /// mechanism). The substrate may apply it after a protocol latency.
+  virtual void AdjustParallelism(TaskId id, double parallelism) = 0;
+
+  /// Sequential-seconds of work remaining in a running task — T_i times the
+  /// unfinished fraction. Used by the scheduler to re-evaluate pairings.
+  virtual double RemainingSeqTime(TaskId id) const = 0;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_SCHED_ENV_H_

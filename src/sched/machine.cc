@@ -1,0 +1,31 @@
+#include "sched/machine.h"
+
+#include "util/str.h"
+
+namespace xprs {
+
+const char* IoPatternName(IoPattern pattern) {
+  switch (pattern) {
+    case IoPattern::kSequential:
+      return "sequential";
+    case IoPattern::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+double MachineConfig::single_stream_bandwidth(IoPattern pattern,
+                                              double parallelism) const {
+  if (pattern == IoPattern::kRandom) return rand_bandwidth();
+  return parallelism <= 1.0 ? seq_bandwidth() : almost_seq_bandwidth();
+}
+
+std::string MachineConfig::ToString() const {
+  return StrFormat(
+      "MachineConfig{N=%d cpus, %d disks, per-disk io/s seq=%.0f "
+      "almost-seq=%.0f random=%.0f, B=%.0f, B/N=%.1f}",
+      num_cpus, num_disks, seq_bw_per_disk, almost_seq_bw_per_disk,
+      rand_bw_per_disk, nominal_bandwidth(), io_cpu_threshold());
+}
+
+}  // namespace xprs

@@ -1,0 +1,435 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace xprs {
+
+const char* SchedPolicyName(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kIntraOnly:
+      return "INTRA-ONLY";
+    case SchedPolicy::kInterWithoutAdj:
+      return "INTER-WITHOUT-ADJ";
+    case SchedPolicy::kInterWithAdj:
+      return "INTER-WITH-ADJ";
+  }
+  return "?";
+}
+
+std::string SchedDecision::ToString() const {
+  return StrFormat("%.3fs %s task %lld x=%.2f", time,
+                   kind == Kind::kStart ? "start" : "adjust",
+                   static_cast<long long>(task), parallelism);
+}
+
+AdaptiveScheduler::AdaptiveScheduler(const MachineConfig& machine,
+                                     const SchedulerOptions& options)
+    : machine_(machine), options_(options) {
+  XPRS_CHECK_GE(options_.max_concurrent, 1);
+  XPRS_CHECK_GE(machine_.num_cpus, 1);
+}
+
+void AdaptiveScheduler::Bind(ExecutionEnv* env) {
+  XPRS_CHECK(env != nullptr);
+  env_ = env;
+}
+
+void AdaptiveScheduler::RegisterTask(const TaskProfile& task) {
+  XPRS_CHECK(env_ != nullptr);
+  XPRS_CHECK_GT(task.seq_time, 0.0);
+  XPRS_CHECK(all_.find(task.id) == all_.end());
+  all_[task.id] = task;
+
+  int unmet = 0;
+  for (TaskId dep : task.deps) {
+    if (finished_.count(dep)) continue;
+    ++unmet;
+    dependents_[dep].push_back(task.id);
+  }
+  if (unmet > 0) {
+    blocked_[task.id] = unmet;
+  } else {
+    (IsIoBound(task, machine_) ? ready_io_ : ready_cpu_).push_back(task.id);
+  }
+}
+
+void AdaptiveScheduler::Submit(const TaskProfile& task) {
+  RegisterTask(task);
+  Reschedule();
+}
+
+void AdaptiveScheduler::SubmitBatch(const std::vector<TaskProfile>& tasks) {
+  for (const auto& t : tasks) RegisterTask(t);
+  Reschedule();
+}
+
+void AdaptiveScheduler::OnTaskFinished(TaskId id) {
+  auto it = running_.find(id);
+  XPRS_CHECK_MSG(it != running_.end(), "finish for task not running");
+  running_.erase(it);
+  finished_.insert(id);
+
+  auto dep_it = dependents_.find(id);
+  if (dep_it != dependents_.end()) {
+    for (TaskId child : dep_it->second) {
+      auto bit = blocked_.find(child);
+      XPRS_CHECK(bit != blocked_.end());
+      if (--bit->second == 0) {
+        blocked_.erase(bit);
+        const TaskProfile& p = all_.at(child);
+        (IsIoBound(p, machine_) ? ready_io_ : ready_cpu_).push_back(child);
+      }
+    }
+    dependents_.erase(dep_it);
+  }
+  Reschedule();
+}
+
+bool AdaptiveScheduler::Idle() const {
+  return running_.empty() && ready_io_.empty() && ready_cpu_.empty();
+}
+
+size_t AdaptiveScheduler::NumPending() const {
+  return ready_io_.size() + ready_cpu_.size() + blocked_.size();
+}
+
+std::vector<TaskId> AdaptiveScheduler::running() const {
+  std::vector<TaskId> ids;
+  ids.reserve(running_.size());
+  for (const auto& [id, r] : running_) ids.push_back(id);
+  return ids;
+}
+
+double AdaptiveScheduler::ParallelismOf(TaskId id) const {
+  auto it = running_.find(id);
+  XPRS_CHECK(it != running_.end());
+  return it->second.parallelism;
+}
+
+void AdaptiveScheduler::Reschedule() {
+  if (in_reschedule_) return;
+  in_reschedule_ = true;
+  if (options_.policy == SchedPolicy::kIntraOnly) {
+    RescheduleIntraOnly();
+  } else {
+    RescheduleInter();
+  }
+  in_reschedule_ = false;
+}
+
+void AdaptiveScheduler::RescheduleIntraOnly() {
+  // One task at a time, each at its maximum intra-operation parallelism.
+  if (!running_.empty()) return;
+  TaskId id = PickAnyReady();
+  if (id < 0) return;
+  const TaskProfile& p = all_.at(id);
+  IssueStart(p, RoundParallelism(MaxParallelism(p, machine_)),
+             /*paired=*/false);
+}
+
+void AdaptiveScheduler::RescheduleInter() {
+  bool progress = true;
+  while (progress &&
+         running_.size() < static_cast<size_t>(options_.max_concurrent)) {
+    progress = false;
+    if (running_.empty()) {
+      progress = StartFreshPair();
+    } else if (running_.size() == 1) {
+      progress = options_.policy == SchedPolicy::kInterWithAdj
+                     ? RepairWithAdjustment()
+                     : FillWithoutAdjustment();
+    }
+  }
+}
+
+TaskProfile AdaptiveScheduler::RemainingProfile(const Running& r) const {
+  TaskProfile rem = r.profile;
+  double left = env_->RemainingSeqTime(rem.id);
+  left = std::max(left, 1e-9);
+  rem.total_ios = rem.io_rate() * left;
+  rem.seq_time = left;
+  return rem;
+}
+
+double AdaptiveScheduler::QueryRemainingWork(int64_t query_id) const {
+  double work = 0.0;
+  for (const auto& [id, p] : all_) {
+    if (p.query_id != query_id || finished_.count(id)) continue;
+    auto rit = running_.find(id);
+    work += rit != running_.end() ? env_->RemainingSeqTime(id) : p.seq_time;
+  }
+  return work;
+}
+
+namespace {
+// Selects from `ids` the task extremizing the io rate; `want_max` picks the
+// most IO-bound, otherwise the most CPU-bound. Ties go to arrival order.
+TaskId ExtremeByRate(const std::vector<TaskId>& ids,
+                     const std::map<TaskId, TaskProfile>& all, bool want_max) {
+  TaskId best = -1;
+  double best_rate = 0.0;
+  for (TaskId id : ids) {
+    double rate = all.at(id).io_rate();
+    if (best < 0 || (want_max ? rate > best_rate : rate < best_rate)) {
+      best = id;
+      best_rate = rate;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+double AdaptiveScheduler::RunningMemory() const {
+  double used = 0.0;
+  for (const auto& [id, r] : running_) used += r.profile.memory_pages;
+  return used;
+}
+
+std::vector<TaskId> AdaptiveScheduler::FittingCandidates(
+    const std::vector<TaskId>& ids) const {
+  if (options_.memory_pages_limit <= 0.0) return ids;
+  const double used = RunningMemory();
+  std::vector<TaskId> out;
+  for (TaskId id : ids) {
+    if (used + all_.at(id).memory_pages <=
+        options_.memory_pages_limit + 1e-9)
+      out.push_back(id);
+  }
+  // A task larger than the whole budget must still run — alone.
+  if (out.empty() && running_.empty()) return ids;
+  return out;
+}
+
+TaskId AdaptiveScheduler::PickMostIoBound() const {
+  std::vector<TaskId> ready_io_f = FittingCandidates(ready_io_);
+  if (ready_io_f.empty()) return -1;
+  if (options_.pairing_rule == PairingRule::kFifo && !options_.shortest_job_first)
+    return ready_io_f.front();
+  if (!options_.shortest_job_first)
+    return ExtremeByRate(ready_io_f, all_, /*want_max=*/true);
+  // SJF: restrict to the query with the least remaining work.
+  double best_work = std::numeric_limits<double>::max();
+  int64_t best_q = -1;
+  for (TaskId id : ready_io_f) {
+    double w = QueryRemainingWork(all_.at(id).query_id);
+    if (w < best_work) {
+      best_work = w;
+      best_q = all_.at(id).query_id;
+    }
+  }
+  std::vector<TaskId> filtered;
+  for (TaskId id : ready_io_f)
+    if (all_.at(id).query_id == best_q) filtered.push_back(id);
+  return ExtremeByRate(filtered, all_, /*want_max=*/true);
+}
+
+TaskId AdaptiveScheduler::PickMostCpuBound() const {
+  std::vector<TaskId> ready_cpu_f = FittingCandidates(ready_cpu_);
+  if (ready_cpu_f.empty()) return -1;
+  if (options_.pairing_rule == PairingRule::kFifo && !options_.shortest_job_first)
+    return ready_cpu_f.front();
+  if (!options_.shortest_job_first)
+    return ExtremeByRate(ready_cpu_f, all_, /*want_max=*/false);
+  double best_work = std::numeric_limits<double>::max();
+  int64_t best_q = -1;
+  for (TaskId id : ready_cpu_f) {
+    double w = QueryRemainingWork(all_.at(id).query_id);
+    if (w < best_work) {
+      best_work = w;
+      best_q = all_.at(id).query_id;
+    }
+  }
+  std::vector<TaskId> filtered;
+  for (TaskId id : ready_cpu_f)
+    if (all_.at(id).query_id == best_q) filtered.push_back(id);
+  return ExtremeByRate(filtered, all_, /*want_max=*/false);
+}
+
+TaskId AdaptiveScheduler::PickAnyReady() const {
+  // FIFO across both queues; under SJF, the task from the shortest query.
+  std::vector<TaskId> candidates;
+  candidates.insert(candidates.end(), ready_io_.begin(), ready_io_.end());
+  candidates.insert(candidates.end(), ready_cpu_.begin(), ready_cpu_.end());
+  if (candidates.empty()) return -1;
+  if (options_.shortest_job_first) {
+    TaskId best = -1;
+    double best_work = std::numeric_limits<double>::max();
+    for (TaskId id : candidates) {
+      double w = QueryRemainingWork(all_.at(id).query_id);
+      if (w < best_work) {
+        best_work = w;
+        best = id;
+      }
+    }
+    return best;
+  }
+  return *std::min_element(candidates.begin(), candidates.end());
+}
+
+double AdaptiveScheduler::RoundParallelism(double x) const {
+  const double n = static_cast<double>(machine_.num_cpus);
+  if (!options_.integer_parallelism) return std::clamp(x, 1e-6, n);
+  double rounded = std::llround(x);
+  return std::clamp(rounded, 1.0, n);
+}
+
+void AdaptiveScheduler::RemoveReady(TaskId id) {
+  auto erase_from = [id](std::vector<TaskId>* v) {
+    v->erase(std::remove(v->begin(), v->end(), id), v->end());
+  };
+  erase_from(&ready_io_);
+  erase_from(&ready_cpu_);
+}
+
+void AdaptiveScheduler::IssueStart(const TaskProfile& task,
+                                   double parallelism, bool paired) {
+  RemoveReady(task.id);
+  running_[task.id] = Running{task, parallelism, paired};
+  decisions_.push_back(
+      {SchedDecision::Kind::kStart, env_->Now(), task.id, parallelism});
+  XPRS_LOG(kDebug, "start task %lld (%s) x=%.2f",
+           static_cast<long long>(task.id), task.name.c_str(), parallelism);
+  env_->StartTask(task.id, parallelism);
+}
+
+void AdaptiveScheduler::IssueAdjust(TaskId id, double parallelism) {
+  auto it = running_.find(id);
+  XPRS_CHECK(it != running_.end());
+  it->second.parallelism = parallelism;
+  ++num_adjustments_;
+  decisions_.push_back(
+      {SchedDecision::Kind::kAdjust, env_->Now(), id, parallelism});
+  XPRS_LOG(kDebug, "adjust task %lld x=%.2f", static_cast<long long>(id),
+           parallelism);
+  env_->AdjustParallelism(id, parallelism);
+}
+
+bool AdaptiveScheduler::StartFreshPair() {
+  TaskId fi = PickMostIoBound();
+  TaskId fj = PickMostCpuBound();
+
+  if (fi >= 0 && fj >= 0 && options_.max_concurrent >= 2) {
+    const TaskProfile& pi = all_.at(fi);
+    const TaskProfile& pj = all_.at(fj);
+    // §5 extension: never overcommit working memory with a pair.
+    bool fits_together =
+        options_.memory_pages_limit <= 0.0 ||
+        pi.memory_pages + pj.memory_pages <=
+            options_.memory_pages_limit + 1e-9;
+    InterCost ic = TInter(pi, pj, machine_, options_.model_seek_interference);
+    double t_intra_sum = TIntra(pi, machine_) + TIntra(pj, machine_);
+    if (fits_together && ic.valid && ic.t_inter < t_intra_sum) {
+      double xi = ic.point.xi;
+      double xj = ic.point.xj;
+      if (options_.integer_parallelism) {
+        const int n = machine_.num_cpus;
+        int xi_r = static_cast<int>(std::llround(xi));
+        xi_r = std::clamp(xi_r, 1, n - 1);
+        xi = xi_r;
+        xj = n - xi_r;
+      }
+      IssueStart(pi, xi, /*paired=*/true);
+      IssueStart(pj, xj, /*paired=*/true);
+      return true;
+    }
+    // Inter-operation parallelism not worthwhile (e.g. two sequential scans
+    // whose seek interference eats the gain): run the IO-bound task alone.
+    IssueStart(pi, RoundParallelism(MaxParallelism(pi, machine_)),
+               /*paired=*/false);
+    return true;
+  }
+
+  // Only one side populated (§2.5 step 8): intra-only, one at a time.
+  TaskId lone = fi >= 0 ? fi : fj;
+  if (lone < 0) return false;
+  const TaskProfile& p = all_.at(lone);
+  IssueStart(p, RoundParallelism(MaxParallelism(p, machine_)),
+             /*paired=*/false);
+  return true;
+}
+
+bool AdaptiveScheduler::RepairWithAdjustment() {
+  XPRS_CHECK_EQ(running_.size(), 1u);
+  auto& [rid, run] = *running_.begin();
+  TaskProfile rem = RemainingProfile(run);
+  const bool r_is_io = IsIoBound(run.profile, machine_);
+  TaskId partner = r_is_io ? PickMostCpuBound() : PickMostIoBound();
+
+  if (partner >= 0) {
+    const TaskProfile& pp = all_.at(partner);
+    InterCost ic = TInter(rem, pp, machine_, options_.model_seek_interference);
+    double t_intra_sum = TIntra(rem, machine_) + TIntra(pp, machine_);
+    if (ic.valid && ic.t_inter < t_intra_sum) {
+      double xr = ic.point.xi;  // TInter(rem, pp): xi belongs to rem.
+      double xp = ic.point.xj;
+      if (options_.integer_parallelism) {
+        const int n = machine_.num_cpus;
+        int xr_r = static_cast<int>(std::llround(xr));
+        xr_r = std::clamp(xr_r, 1, n - 1);
+        xr = xr_r;
+        xp = n - xr_r;
+      }
+      if (std::abs(xr - run.parallelism) > 1e-9) IssueAdjust(rid, xr);
+      IssueStart(pp, xp, /*paired=*/true);
+      return true;
+    }
+  }
+
+  // No partner worth pairing: give the running task its full intra-op
+  // parallelism (this is exactly the adjustment INTER-WITHOUT-ADJ misses).
+  double target = RoundParallelism(MaxParallelism(rem, machine_));
+  if (std::abs(target - run.parallelism) > 1e-9) IssueAdjust(rid, target);
+  return false;
+}
+
+bool AdaptiveScheduler::FillWithoutAdjustment() {
+  XPRS_CHECK_EQ(running_.size(), 1u);
+  const auto& [rid, run] = *running_.begin();
+  (void)rid;
+  // Only a paired survivor is backfilled; a task started by the intra-only
+  // path runs alone to completion (paper §3: INTER-WITHOUT-ADJ falls back
+  // to one-at-a-time when no pairing is in flight).
+  if (!run.paired) return false;
+  const double n = static_cast<double>(machine_.num_cpus);
+  double avail = n - run.parallelism;
+  if (options_.integer_parallelism) avail = std::floor(avail + 1e-9);
+  if (avail < 1.0) return false;
+
+  const double b = machine_.nominal_bandwidth();
+  const double u_run = run.profile.io_rate() * run.parallelism;
+
+  std::vector<TaskId> candidates;
+  candidates.insert(candidates.end(), ready_io_.begin(), ready_io_.end());
+  candidates.insert(candidates.end(), ready_cpu_.begin(), ready_cpu_.end());
+  candidates = FittingCandidates(candidates);
+  if (candidates.empty()) return false;
+
+  // Pick the task that, executed on exactly the currently available
+  // processors, lands the system closest to the maximum-utilization corner
+  // (N, B) — the §3 description of INTER-WITHOUT-ADJ. The parallelism is
+  // not capped at the task's maxp: without the adjustment mechanism the
+  // master has no later opportunity to reclaim processors.
+  TaskId best = -1;
+  double best_dist = std::numeric_limits<double>::max();
+  for (TaskId id : candidates) {
+    const TaskProfile& p = all_.at(id);
+    double pio = u_run + p.io_rate() * avail;
+    double dio = (b - pio) / b;
+    double dist = dio * dio;  // all processors used, so only io distance
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = id;
+    }
+  }
+  if (best < 0) return false;
+  IssueStart(all_.at(best), avail, /*paired=*/true);
+  return true;
+}
+
+}  // namespace xprs

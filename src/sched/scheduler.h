@@ -1,0 +1,214 @@
+// The adaptive processor scheduling algorithm of §2.5, plus the two
+// baseline policies of §3.
+//
+// Policies:
+//   kIntraOnly        — run tasks one at a time, each at its maximum
+//                       intra-operation parallelism.
+//   kInterWithoutAdj  — pair an IO-bound with a CPU-bound task at their
+//                       IO-CPU balance point, but never adjust a running
+//                       task: when one finishes, fill the leftover
+//                       processors with the queued task that gets the
+//                       system closest to the maximum-utilization point.
+//   kInterWithAdj     — the paper's full algorithm: pair the most IO-bound
+//                       with the most CPU-bound runable task at the balance
+//                       point, and on every completion re-pair and
+//                       dynamically adjust the survivor's parallelism so
+//                       the system stays at the balance point.
+//
+// The scheduler is substrate-agnostic: it sees TaskProfiles and drives an
+// ExecutionEnv. Order dependencies between tasks (fragments of a bushy
+// plan, §4) are honored: a task becomes runable only when its deps finish.
+
+#ifndef XPRS_SCHED_SCHEDULER_H_
+#define XPRS_SCHED_SCHEDULER_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/cost.h"
+#include "sched/env.h"
+#include "sched/machine.h"
+#include "sched/task.h"
+
+namespace xprs {
+
+/// Scheduling policy (the three algorithms compared in §3).
+enum class SchedPolicy { kIntraOnly, kInterWithoutAdj, kInterWithAdj };
+
+const char* SchedPolicyName(SchedPolicy policy);
+
+/// How the pair to run is chosen from the ready queues.
+enum class PairingRule {
+  /// The paper's rule: most IO-bound with most CPU-bound.
+  kExtremes,
+  /// Ablation baseline: first arrival from each queue.
+  kFifo,
+};
+
+/// Tunables of the adaptive scheduler.
+struct SchedulerOptions {
+  SchedPolicy policy = SchedPolicy::kInterWithAdj;
+
+  /// Task-pair selection rule (§2.5 uses kExtremes).
+  PairingRule pairing_rule = PairingRule::kExtremes;
+
+  /// Model the §2.3 bandwidth degradation between concurrent sequential
+  /// streams when computing balance points and cost estimates.
+  bool model_seek_interference = true;
+
+  /// Round degrees of parallelism to whole processors (real backends).
+  /// Disable for continuous analytic studies.
+  bool integer_parallelism = true;
+
+  /// Prefer tasks from the query with the least remaining work when
+  /// choosing what to run (the §2.5 multi-user response-time heuristic).
+  bool shortest_job_first = false;
+
+  /// Upper bound on concurrently running tasks. The paper proves two are
+  /// sufficient for full utilization; the ablation bench raises this.
+  int max_concurrent = 2;
+
+  /// Total working memory available to concurrently running tasks, in
+  /// 8 KB pages; 0 = unlimited. Implements the §5 future-work extension:
+  /// "we cannot run two hashjoins in parallel unless there is enough
+  /// memory for both hash tables." A task whose own requirement exceeds
+  /// the limit still runs (alone); pairing just never overcommits.
+  double memory_pages_limit = 0.0;
+};
+
+/// One scheduling action, recorded for tests and traces.
+struct SchedDecision {
+  enum class Kind { kStart, kAdjust } kind;
+  double time = 0.0;
+  TaskId task = -1;
+  double parallelism = 0.0;
+  std::string ToString() const;
+};
+
+/// The adaptive scheduler (§2.5). Event-driven: the substrate calls
+/// Submit() when a task arrives and OnTaskFinished() when one completes;
+/// the scheduler reacts by issuing StartTask / AdjustParallelism commands
+/// to the bound ExecutionEnv.
+class AdaptiveScheduler {
+ public:
+  AdaptiveScheduler(const MachineConfig& machine,
+                    const SchedulerOptions& options);
+
+  /// Attaches the substrate. Must be called before Submit().
+  void Bind(ExecutionEnv* env);
+
+  /// Registers a task. It becomes runable once all its deps have finished
+  /// (immediately if it has none) and may be started during this call.
+  void Submit(const TaskProfile& task);
+
+  /// Registers a set of simultaneously arriving tasks, then schedules once.
+  /// Unlike repeated Submit() calls, the initial pairing sees the whole
+  /// batch (the §3 experiments hand the scheduler all ten tasks at once).
+  void SubmitBatch(const std::vector<TaskProfile>& tasks);
+
+  /// Substrate callback: `id` has completed. Triggers re-pairing and (under
+  /// kInterWithAdj) dynamic parallelism adjustment of the survivor.
+  void OnTaskFinished(TaskId id);
+
+  /// True when nothing is running and no runable task is waiting.
+  bool Idle() const;
+
+  /// Number of tasks neither finished nor running (waiting or blocked).
+  size_t NumPending() const;
+
+  /// Total dynamic parallelism adjustments issued.
+  size_t num_adjustments() const { return num_adjustments_; }
+
+  /// Full decision log (starts and adjustments, in order).
+  const std::vector<SchedDecision>& decisions() const { return decisions_; }
+
+  /// Ids of currently running tasks.
+  std::vector<TaskId> running() const;
+
+  /// Currently assigned parallelism of a running task.
+  double ParallelismOf(TaskId id) const;
+
+ private:
+  struct Running {
+    TaskProfile profile;
+    double parallelism = 0.0;
+    /// True when the task runs as part of an inter-operation pair (initial
+    /// pairing or backfill). kInterWithoutAdj only backfills alongside
+    /// paired survivors; tasks started by the intra-only path run alone.
+    bool paired = false;
+  };
+
+  // Adds a task to the bookkeeping without scheduling.
+  void RegisterTask(const TaskProfile& task);
+
+  // Re-evaluates what should run; called after every submit/finish event.
+  void Reschedule();
+  void RescheduleIntraOnly();
+  void RescheduleInter();
+
+  // The profile of a running task with seq_time/total_ios scaled down to
+  // the unfinished remainder (C_i is preserved).
+  TaskProfile RemainingProfile(const Running& r) const;
+
+  // Queue selectors; honor shortest_job_first and the memory limit.
+  // Return -1 if empty.
+  TaskId PickMostIoBound() const;
+  TaskId PickMostCpuBound() const;
+  TaskId PickAnyReady() const;
+
+  // Memory accounting for the §5 extension: working memory of running
+  // tasks, and the subset of `ids` that fits alongside them (falls back to
+  // `ids` when nothing is running, so oversized tasks still run alone).
+  double RunningMemory() const;
+  std::vector<TaskId> FittingCandidates(const std::vector<TaskId>& ids) const;
+
+  // Remaining sequential work of the query a task belongs to (SJF key).
+  double QueryRemainingWork(int64_t query_id) const;
+
+  // Command wrappers that round parallelism per options, update
+  // bookkeeping and record decisions.
+  void IssueStart(const TaskProfile& task, double parallelism, bool paired);
+  void IssueAdjust(TaskId id, double parallelism);
+  double RoundParallelism(double x) const;
+
+  // Removes `id` from the ready sets.
+  void RemoveReady(TaskId id);
+
+  // Starts the pair (or a lone task) from the ready sets, assuming nothing
+  // is running. Shared by the two inter policies. Returns true if it
+  // started anything.
+  bool StartFreshPair();
+
+  // kInterWithAdj: one task running, try to pair it with a fresh partner
+  // and adjust its parallelism; otherwise run it at max parallelism.
+  // Returns true if a partner was started.
+  bool RepairWithAdjustment();
+
+  // kInterWithoutAdj: one task running at a fixed parallelism; start the
+  // queued task that gets closest to the maximum-utilization corner using
+  // only the leftover processors. Returns true if a task was started.
+  bool FillWithoutAdjustment();
+
+  MachineConfig machine_;
+  SchedulerOptions options_;
+  ExecutionEnv* env_ = nullptr;
+
+  std::map<TaskId, TaskProfile> all_;
+  std::vector<TaskId> ready_io_;   // runable IO-bound tasks, arrival order
+  std::vector<TaskId> ready_cpu_;  // runable CPU-bound tasks, arrival order
+  std::map<TaskId, int> blocked_;  // task -> unmet dependency count
+  std::map<TaskId, std::vector<TaskId>> dependents_;
+  std::map<TaskId, Running> running_;
+  std::set<TaskId> finished_;
+
+  size_t num_adjustments_ = 0;
+  std::vector<SchedDecision> decisions_;
+  bool in_reschedule_ = false;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_SCHED_SCHEDULER_H_

@@ -1,0 +1,34 @@
+#include "sched/task.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+std::string TaskProfile::ToString() const {
+  return StrFormat(
+      "Task{id=%lld name=%s T=%.3fs D=%.0f C=%.1f io/s %s q=%lld}",
+      static_cast<long long>(id), name.c_str(), seq_time, total_ios,
+      io_rate(), IoPatternName(pattern), static_cast<long long>(query_id));
+}
+
+bool IsIoBound(const TaskProfile& task, const MachineConfig& machine) {
+  return task.io_rate() > machine.io_cpu_threshold();
+}
+
+double MaxParallelism(const TaskProfile& task, const MachineConfig& machine) {
+  XPRS_CHECK_GT(task.seq_time, 0.0);
+  const double n = static_cast<double>(machine.num_cpus);
+  const double c = task.io_rate();
+  if (c <= 0.0) return n;
+  // The bandwidth ceiling the task will actually see when run parallel and
+  // alone. (The paper uses the nominal B for all tasks; using the
+  // pattern-aware ceiling is a strictly more physical refinement that
+  // coincides for parallel sequential scans.)
+  const double b = machine.single_stream_bandwidth(task.pattern, 2.0);
+  return std::clamp(b / c, 1.0, n);
+}
+
+}  // namespace xprs

@@ -1,0 +1,71 @@
+// TaskProfile: the scheduler's abstract view of a plan fragment.
+//
+// A task (plan fragment, §2.1) is characterized by its sequential execution
+// time T_i, its total number of i/o requests D_i — hence its sequential i/o
+// rate C_i = D_i / T_i — and its access pattern. Everything the adaptive
+// scheduler does depends only on these quantities.
+
+#ifndef XPRS_SCHED_TASK_H_
+#define XPRS_SCHED_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/machine.h"
+
+namespace xprs {
+
+/// Identifies a task within a scheduling session.
+using TaskId = int64_t;
+
+/// Abstract description of one schedulable task (plan fragment).
+struct TaskProfile {
+  TaskId id = -1;
+  std::string name;
+
+  /// T_i: estimated (or measured) execution time when run sequentially, in
+  /// seconds. Must be > 0.
+  double seq_time = 0.0;
+
+  /// D_i: total number of i/o requests the task issues. Must be >= 0.
+  double total_ios = 0.0;
+
+  /// Dominant access pattern of the i/o stream.
+  IoPattern pattern = IoPattern::kSequential;
+
+  /// Query this fragment belongs to (used by shortest-job-first and the
+  /// multi-user experiments). -1 when standalone.
+  int64_t query_id = -1;
+
+  /// Arrival time in seconds for continuous-sequence scheduling (§2.5
+  /// extension: S_io and S_cpu become queues). 0 for a fixed set.
+  double arrival_time = 0.0;
+
+  /// Ids of tasks that must finish before this one becomes runable
+  /// (order-dependencies between the fragments of a bushy plan, §4).
+  std::vector<TaskId> deps;
+
+  /// Working memory the task needs while running, in 8 KB pages (hash
+  /// tables it builds, sort buffers it fills). The paper leaves memory
+  /// constraints as future work (§5); this field feeds the
+  /// memory-constrained scheduling extension.
+  double memory_pages = 0.0;
+
+  /// C_i = D_i / T_i, the sequential i/o rate in io/s.
+  double io_rate() const { return seq_time > 0 ? total_ios / seq_time : 0.0; }
+
+  std::string ToString() const;
+};
+
+/// True iff the task is IO-bound on the given machine: C_i > B/N (§2.2).
+bool IsIoBound(const TaskProfile& task, const MachineConfig& machine);
+
+/// Maximum useful intra-operation parallelism (§2.2): an IO-bound task runs
+/// out of bandwidth at B/C_i; a CPU-bound task runs out of processors at N.
+/// The bandwidth used is the single-stream ceiling for the task's pattern.
+double MaxParallelism(const TaskProfile& task, const MachineConfig& machine);
+
+}  // namespace xprs
+
+#endif  // XPRS_SCHED_TASK_H_

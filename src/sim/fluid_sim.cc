@@ -1,0 +1,285 @@
+#include "sim/fluid_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sched/balance.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+std::string SimResult::ToString() const {
+  return StrFormat(
+      "SimResult{elapsed=%.3fs cpu=%.1f%% io=%.1f%% adj=%zu "
+      "mean_resp=%.3fs tasks=%zu}",
+      elapsed, cpu_utilization * 100.0, io_utilization * 100.0,
+      num_adjustments, mean_response_time, tasks.size());
+}
+
+FluidSimulator::FluidSimulator(const MachineConfig& machine,
+                               const SimOptions& options)
+    : machine_(machine), options_(options) {}
+
+void FluidSimulator::StartTask(TaskId id, double parallelism) {
+  XPRS_CHECK_MSG(submitted_.count(id) > 0, "start of unknown task");
+  XPRS_CHECK_MSG(active_.find(id) == active_.end(), "task already running");
+  XPRS_CHECK_GT(parallelism, 0.0);
+  Active a;
+  a.profile = submitted_.at(id);
+  a.parallelism = parallelism;
+  a.work_done = 0.0;
+  a.start_time = now_;
+  active_[id] = a;
+  results_[id].start_time = now_;
+}
+
+void FluidSimulator::AdjustParallelism(TaskId id, double parallelism) {
+  auto it = active_.find(id);
+  XPRS_CHECK_MSG(it != active_.end(), "adjust of task not running");
+  XPRS_CHECK_GT(parallelism, 0.0);
+  if (options_.adjust_latency <= 0.0) {
+    it->second.parallelism = parallelism;
+    it->second.pending_apply_time = -1.0;
+  } else {
+    it->second.pending_parallelism = parallelism;
+    it->second.pending_apply_time = now_ + options_.adjust_latency;
+  }
+}
+
+double FluidSimulator::RemainingSeqTime(TaskId id) const {
+  auto it = active_.find(id);
+  if (it == active_.end()) return 0.0;
+  return std::max(0.0, it->second.profile.seq_time - it->second.work_done);
+}
+
+FluidSimulator::Rates FluidSimulator::ComputeRates() const {
+  Rates r;
+  double total_demand = 0.0;
+  std::vector<IoStream> streams;
+  std::vector<double> speedups;
+  for (const auto& [id, a] : active_) {
+    double x = a.parallelism;
+    // Useful parallelism plateaus at maxp and degrades past it ([HONG91]).
+    double maxp = MaxParallelism(a.profile, machine_);
+    double useful =
+        std::min(x, maxp) - options_.excess_penalty * std::max(0.0, x - maxp);
+    useful = std::max(useful, 0.25);
+    double speedup = useful / (1.0 + options_.process_overhead * (x - 1.0));
+    r.ids.push_back(id);
+    speedups.push_back(speedup);
+    r.cpus_busy += x;
+    double demand = a.profile.io_rate() * speedup;
+    total_demand += demand;
+    if (demand > 0.0) streams.push_back({demand, a.profile.pattern, x});
+  }
+  // Transient oversubscription is possible while a downward adjustment is
+  // still in flight (the §2.4 rendezvous) — the processes time-share and
+  // everyone's progress scales down uniformly. The reported busy figure is
+  // physical processors, which cannot exceed N.
+  double cpu_scale = 1.0;
+  const double n = static_cast<double>(machine_.num_cpus);
+  if (r.cpus_busy > n + kEps) {
+    cpu_scale = n / r.cpus_busy;
+    r.cpus_busy = n;
+  }
+
+  r.effective_bw = streams.empty() ? machine_.seq_bandwidth()
+                                   : EffectiveBandwidth(machine_, streams);
+  total_demand *= cpu_scale;
+  double io_factor =
+      total_demand > r.effective_bw ? r.effective_bw / total_demand : 1.0;
+
+  size_t k = 0;
+  for (const auto& [id, a] : active_) {
+    double rate = speedups[k] * cpu_scale;
+    if (a.profile.io_rate() > 0.0) rate *= io_factor;
+    r.per_task.push_back(rate);
+    r.granted_io += a.profile.io_rate() * rate;
+    ++k;
+  }
+  return r;
+}
+
+SimResult FluidSimulator::Run(AdaptiveScheduler* scheduler,
+                              const std::vector<TaskProfile>& tasks) {
+  XPRS_CHECK(scheduler != nullptr);
+  now_ = 0.0;
+  active_.clear();
+  submitted_.clear();
+  results_.clear();
+  trace_.clear();
+
+  scheduler->Bind(this);
+
+  std::vector<TaskProfile> arrivals = tasks;
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const TaskProfile& a, const TaskProfile& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  for (const auto& t : arrivals) {
+    XPRS_CHECK_GE(t.arrival_time, 0.0);
+    submitted_[t.id] = t;
+    SimTaskResult tr;
+    tr.id = t.id;
+    tr.arrival_time = t.arrival_time;
+    results_[t.id] = tr;
+  }
+
+  size_t next_arrival = 0;
+  double cpu_time_integral = 0.0;
+  double io_integral = 0.0;
+
+  for (;;) {
+    XPRS_CHECK_MSG(now_ < options_.max_sim_time, "simulation ran away");
+
+    // Deliver all arrivals due now as one batch so the scheduler's initial
+    // pairing sees every simultaneously arriving task.
+    if (next_arrival < arrivals.size() &&
+        arrivals[next_arrival].arrival_time <= now_ + kEps) {
+      std::vector<TaskProfile> batch;
+      while (next_arrival < arrivals.size() &&
+             arrivals[next_arrival].arrival_time <= now_ + kEps) {
+        batch.push_back(arrivals[next_arrival]);
+        ++next_arrival;
+      }
+      scheduler->SubmitBatch(batch);
+    }
+
+    if (active_.empty()) {
+      if (next_arrival < arrivals.size()) {
+        now_ = arrivals[next_arrival].arrival_time;  // idle gap
+        continue;
+      }
+      XPRS_CHECK_MSG(scheduler->NumPending() == 0,
+                     "deadlock: pending tasks but nothing runable");
+      break;
+    }
+
+    Rates rates = ComputeRates();
+
+    // Next event: earliest completion, adjustment application or arrival.
+    double t_next = std::numeric_limits<double>::max();
+    for (size_t k = 0; k < rates.ids.size(); ++k) {
+      const Active& a = active_.at(rates.ids[k]);
+      XPRS_CHECK_GT(rates.per_task[k], 0.0);
+      double left = a.profile.seq_time - a.work_done;
+      t_next = std::min(t_next, now_ + std::max(0.0, left) / rates.per_task[k]);
+    }
+    for (const auto& [id, a] : active_) {
+      if (a.pending_apply_time >= 0.0 && a.pending_apply_time > now_ + kEps)
+        t_next = std::min(t_next, a.pending_apply_time);
+    }
+    if (next_arrival < arrivals.size())
+      t_next = std::min(t_next, arrivals[next_arrival].arrival_time);
+    t_next = std::max(t_next, now_);
+
+    const double dt = t_next - now_;
+    if (dt > 0.0) {
+      SimTraceSample sample{now_,
+                            dt,
+                            rates.cpus_busy,
+                            rates.granted_io,
+                            rates.effective_bw,
+                            static_cast<int>(active_.size()),
+                            {}};
+      for (const auto& [id, a] : active_)
+        sample.allocations.push_back({id, a.parallelism});
+      trace_.push_back(std::move(sample));
+      cpu_time_integral += rates.cpus_busy * dt;
+      io_integral += rates.granted_io * dt;
+      size_t k = 0;
+      for (auto& [id, a] : active_) {
+        a.work_done += rates.per_task[k] * dt;
+        ++k;
+      }
+    }
+    now_ = t_next;
+
+    // Apply matured adjustments.
+    for (auto& [id, a] : active_) {
+      if (a.pending_apply_time >= 0.0 && a.pending_apply_time <= now_ + kEps) {
+        a.parallelism = a.pending_parallelism;
+        a.pending_apply_time = -1.0;
+      }
+    }
+
+    // Collect completions, then notify the scheduler one by one (each
+    // notification may start or adjust other tasks).
+    std::vector<TaskId> done;
+    for (const auto& [id, a] : active_) {
+      double left = a.profile.seq_time - a.work_done;
+      if (left <= 1e-9 * std::max(1.0, a.profile.seq_time)) done.push_back(id);
+    }
+    for (TaskId id : done) {
+      const Active& a = active_.at(id);
+      SimTaskResult& tr = results_.at(id);
+      tr.finish_time = now_;
+      tr.ios_done = a.profile.total_ios;
+      active_.erase(id);
+      scheduler->OnTaskFinished(id);
+    }
+  }
+
+  SimResult out;
+  out.elapsed = now_;
+  out.num_adjustments = scheduler->num_adjustments();
+  double resp_sum = 0.0;
+  for (const auto& [id, tr] : results_) {
+    XPRS_CHECK_MSG(tr.finish_time >= 0.0, "task never finished");
+    resp_sum += tr.response_time();
+    out.tasks[id] = tr;
+  }
+  out.mean_response_time =
+      results_.empty() ? 0.0 : resp_sum / static_cast<double>(results_.size());
+  if (now_ > 0.0) {
+    out.cpu_utilization =
+        cpu_time_integral / (now_ * static_cast<double>(machine_.num_cpus));
+    out.io_utilization = io_integral / (now_ * machine_.nominal_bandwidth());
+  }
+  return out;
+}
+
+std::string RenderGantt(const std::vector<SimTraceSample>& trace,
+                        const SimResult& result, int width) {
+  if (result.tasks.empty() || result.elapsed <= 0.0 || width < 8) return "";
+  const double col_time = result.elapsed / width;
+
+  // Per task, per column: max parallelism seen during the column.
+  std::map<TaskId, std::vector<double>> rows;
+  for (const auto& [id, tr] : result.tasks) rows[id].assign(width, 0.0);
+  for (const auto& s : trace) {
+    int c0 = std::clamp(static_cast<int>(s.time / col_time), 0, width - 1);
+    int c1 = std::clamp(static_cast<int>((s.time + s.duration) / col_time),
+                        0, width - 1);
+    for (const auto& [id, x] : s.allocations) {
+      auto it = rows.find(id);
+      if (it == rows.end()) continue;
+      for (int c = c0; c <= c1; ++c)
+        it->second[c] = std::max(it->second[c], x);
+    }
+  }
+
+  std::string out = StrFormat("time 0 .. %.1fs, one column = %.2fs\n",
+                              result.elapsed, col_time);
+  for (const auto& [id, cells] : rows) {
+    out += StrFormat("task %4lld |", static_cast<long long>(id));
+    for (double x : cells) {
+      if (x <= 0.0) {
+        out += ' ';
+      } else {
+        int level = std::clamp(static_cast<int>(std::lround(x)), 1, 9);
+        out += static_cast<char>('0' + level);
+      }
+    }
+    out += StrFormat("| resp %.1fs\n", result.tasks.at(id).response_time());
+  }
+  return out;
+}
+
+}  // namespace xprs

@@ -1,0 +1,159 @@
+// FluidSimulator: a deterministic fluid (piecewise-constant-rate) simulator
+// of the XPRS machine — N processors plus a striped disk array with
+// pattern-dependent bandwidth.
+//
+// This is the performance substrate of the reproduction (see DESIGN.md §1):
+// the paper measured on a 12-processor Sequent Symmetry with 4 disks, which
+// we do not have. The simulator implements exactly the resource model the
+// paper's analysis is built on (§2.2-2.3): a task run at parallelism x
+// progresses x times its sequential rate and demands io at C_i * x io/s;
+// when total io demand exceeds the effective disk bandwidth — itself
+// degraded by seek interference between concurrent streams — all demanding
+// streams are throttled proportionally. Between events all rates are
+// constant, so completion times are computed exactly (no time-stepping
+// error) and runs are bit-reproducible.
+
+#ifndef XPRS_SIM_FLUID_SIM_H_
+#define XPRS_SIM_FLUID_SIM_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sched/env.h"
+#include "sched/machine.h"
+#include "sched/scheduler.h"
+#include "sched/task.h"
+
+namespace xprs {
+
+/// Simulator tunables.
+struct SimOptions {
+  /// Latency (seconds) before a parallelism adjustment takes effect —
+  /// models the §2.4 master/slave signal rendezvous. 0 = instantaneous.
+  double adjust_latency = 0.05;
+
+  /// Per-extra-process efficiency loss: a task at parallelism x progresses
+  /// at rate x / (1 + overhead * (x - 1)). Models the per-process
+  /// coordination cost. 0 = ideal linear speedup.
+  double process_overhead = 0.0;
+
+  /// Penalty for parallelism beyond the task's resource-limited maximum
+  /// (maxp): effective speedup = min(x, maxp) - excess_penalty*(x - maxp).
+  /// [HONG91] measured *severe* penalties past maxp (disk-queue thrash) —
+  /// progress degrades rather than plateaus. 0 = flat plateau.
+  double excess_penalty = 0.15;
+
+  /// Hard stop for the simulation clock (guards against scheduler bugs).
+  double max_sim_time = 1e7;
+};
+
+/// Per-task outcome.
+struct SimTaskResult {
+  TaskId id = -1;
+  double arrival_time = 0.0;
+  double start_time = -1.0;
+  double finish_time = -1.0;
+  double ios_done = 0.0;
+  /// Response time = finish - arrival.
+  double response_time() const { return finish_time - arrival_time; }
+};
+
+/// Whole-run outcome.
+struct SimResult {
+  /// Time the last task finished.
+  double elapsed = 0.0;
+  /// Time-averaged fraction of processors busy over [0, elapsed].
+  double cpu_utilization = 0.0;
+  /// Time-averaged io rate divided by the nominal bandwidth B.
+  double io_utilization = 0.0;
+  /// Dynamic adjustments issued by the scheduler.
+  size_t num_adjustments = 0;
+  /// Mean response time across tasks.
+  double mean_response_time = 0.0;
+  std::map<TaskId, SimTaskResult> tasks;
+
+  std::string ToString() const;
+};
+
+/// One sample of the utilization trace (taken at every event boundary).
+struct SimTraceSample {
+  double time = 0.0;          ///< interval start
+  double duration = 0.0;      ///< interval length
+  double cpus_busy = 0.0;     ///< physical processors busy (capped at N)
+  double io_rate = 0.0;       ///< granted aggregate io rate (io/s)
+  double effective_bw = 0.0;  ///< effective bandwidth during the interval
+  int tasks_running = 0;
+  /// Per-task processor allocation during the interval.
+  std::vector<std::pair<TaskId, double>> allocations;
+};
+
+/// Renders a per-task ASCII Gantt chart of a finished run: one row per
+/// task, `width` columns across [0, elapsed], cell glyph scaled by the
+/// task's parallelism in that interval (' ' idle, '1'..'8' processors).
+std::string RenderGantt(const std::vector<SimTraceSample>& trace,
+                        const SimResult& result, int width = 72);
+
+/// The fluid simulator. Usage:
+///
+///   FluidSimulator sim(machine, sim_options);
+///   AdaptiveScheduler sched(machine, sched_options);
+///   SimResult r = sim.Run(&sched, tasks);
+///
+/// Tasks are delivered to the scheduler at their arrival_time; the
+/// scheduler starts/adjusts them through the ExecutionEnv interface; the
+/// simulator advances time to the next completion / arrival / adjustment
+/// and reports completions back.
+class FluidSimulator : public ExecutionEnv {
+ public:
+  explicit FluidSimulator(const MachineConfig& machine,
+                          const SimOptions& options = SimOptions());
+
+  /// Runs the given workload to completion under `scheduler`.
+  SimResult Run(AdaptiveScheduler* scheduler,
+                const std::vector<TaskProfile>& tasks);
+
+  /// Utilization trace of the last Run().
+  const std::vector<SimTraceSample>& trace() const { return trace_; }
+
+  // --- ExecutionEnv interface (called by the scheduler) ---
+  double Now() const override { return now_; }
+  void StartTask(TaskId id, double parallelism) override;
+  void AdjustParallelism(TaskId id, double parallelism) override;
+  double RemainingSeqTime(TaskId id) const override;
+
+ private:
+  struct Active {
+    TaskProfile profile;
+    double parallelism = 0.0;
+    double work_done = 0.0;      // sequential-seconds completed
+    double start_time = 0.0;
+    // Pending adjustment (applied at apply_time), if apply_time >= 0.
+    double pending_parallelism = 0.0;
+    double pending_apply_time = -1.0;
+  };
+
+  // Piecewise-constant progress rates for the current instant.
+  struct Rates {
+    std::vector<double> per_task;  // seq-seconds per second, aligned w/ ids
+    std::vector<TaskId> ids;
+    double effective_bw = 0.0;
+    double granted_io = 0.0;
+    double cpus_busy = 0.0;
+  };
+  Rates ComputeRates() const;
+
+  MachineConfig machine_;
+  SimOptions options_;
+
+  double now_ = 0.0;
+  std::map<TaskId, Active> active_;
+  std::map<TaskId, TaskProfile> submitted_;  // everything Run() was given
+  std::map<TaskId, SimTaskResult> results_;
+  std::vector<SimTraceSample> trace_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_SIM_FLUID_SIM_H_

@@ -1,0 +1,237 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+std::string SqlResult::ToString() const {
+  std::string out = schema.ToString() + "\n";
+  for (const auto& row : rows) {
+    out += row.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+SqlEngine::SqlEngine(Catalog* catalog, const MachineConfig& machine,
+                     const CostModel* model)
+    : catalog_(catalog), machine_(machine), model_(model) {
+  XPRS_CHECK(catalog != nullptr);
+  XPRS_CHECK(model != nullptr);
+}
+
+StatusOr<std::pair<int, size_t>> SqlEngine::ResolveColumn(
+    const Bound& bound, const SqlColumnRef& ref) const {
+  int found_rel = -1;
+  size_t found_col = 0;
+  for (size_t i = 0; i < bound.parsed.from.size(); ++i) {
+    const SqlTableRef& t = bound.parsed.from[i];
+    if (!ref.qualifier.empty() && ref.qualifier != t.alias) continue;
+    const Schema& schema = bound.spec.relations[i].table->schema();
+    auto col = schema.ColumnIndex(ref.column);
+    if (!col.ok()) {
+      if (!ref.qualifier.empty())
+        return Status::InvalidArgument(
+            StrFormat("no column '%s' in %s", ref.column.c_str(),
+                      t.alias.c_str()));
+      continue;
+    }
+    if (found_rel >= 0)
+      return Status::InvalidArgument("ambiguous column '" + ref.column + "'");
+    found_rel = static_cast<int>(i);
+    found_col = col.value();
+    if (!ref.qualifier.empty()) break;
+  }
+  if (found_rel < 0)
+    return Status::InvalidArgument("unknown column '" + ref.ToString() + "'");
+  return std::make_pair(found_rel, found_col);
+}
+
+StatusOr<size_t> SqlEngine::OutputIndex(
+    const std::vector<std::pair<int, size_t>>& colmap, int rel, size_t col) {
+  for (size_t i = 0; i < colmap.size(); ++i)
+    if (colmap[i].first == rel && colmap[i].second == col) return i;
+  return Status::Internal("column lost during optimization");
+}
+
+StatusOr<SqlEngine::Bound> SqlEngine::Bind(const std::string& sql) const {
+  XPRS_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
+
+  Bound bound;
+  bound.parsed = std::move(parsed);
+
+  // FROM: resolve tables, reject duplicate aliases.
+  for (const SqlTableRef& ref : bound.parsed.from) {
+    XPRS_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ref.table));
+    bound.spec.relations.push_back({table, Predicate()});
+  }
+  for (size_t i = 0; i < bound.parsed.from.size(); ++i)
+    for (size_t j = i + 1; j < bound.parsed.from.size(); ++j)
+      if (bound.parsed.from[i].alias == bound.parsed.from[j].alias)
+        return Status::InvalidArgument("duplicate table alias '" +
+                                       bound.parsed.from[i].alias + "'");
+
+  // WHERE conjuncts: selections attach to their relation; joins go to the
+  // equi-join graph.
+  for (const SqlCondition& cond : bound.parsed.where) {
+    XPRS_ASSIGN_OR_RETURN(auto lhs, ResolveColumn(bound, cond.lhs));
+    switch (cond.kind) {
+      case SqlCondition::Kind::kCompare: {
+        Predicate p = Predicate::Compare(lhs.second, cond.op, cond.constant);
+        Predicate& existing = bound.spec.relations[lhs.first].pred;
+        existing = Predicate::And(existing, p);
+        break;
+      }
+      case SqlCondition::Kind::kBetween: {
+        Predicate p = Predicate::Between(lhs.second, cond.lo, cond.hi);
+        Predicate& existing = bound.spec.relations[lhs.first].pred;
+        existing = Predicate::And(existing, p);
+        break;
+      }
+      case SqlCondition::Kind::kJoin: {
+        XPRS_ASSIGN_OR_RETURN(auto rhs, ResolveColumn(bound, cond.rhs));
+        if (lhs.first == rhs.first)
+          return Status::InvalidArgument(
+              "self-comparison within one relation is not a join");
+        bound.spec.joins.push_back(
+            {lhs.first, lhs.second, rhs.first, rhs.second});
+        break;
+      }
+    }
+  }
+  return bound;
+}
+
+StatusOr<SqlResult> SqlEngine::Run(const std::string& sql,
+                                   const ExecContext* ctx, TreeShape shape,
+                                   const MasterOptions* master) {
+  XPRS_ASSIGN_OR_RETURN(Bound bound, Bind(sql));
+  const ParsedQuery& parsed = bound.parsed;
+
+  // Validate the select list shape.
+  size_t num_aggs = 0;
+  for (const auto& item : parsed.select)
+    num_aggs += item.kind == SqlSelectItem::Kind::kAggregate;
+  if (num_aggs > 1)
+    return Status::Unimplemented("at most one aggregate per query");
+  if (num_aggs == 1 && parsed.select.size() != 1)
+    return Status::Unimplemented(
+        "an aggregate query selects exactly the aggregate");
+  if (parsed.group_by.has_value() && num_aggs == 0)
+    return Status::InvalidArgument("GROUP BY requires an aggregate");
+
+  TwoPhaseOptimizer optimizer(machine_, model_);
+  XPRS_ASSIGN_OR_RETURN(OptimizedQuery optimized,
+                        optimizer.Optimize(bound.spec, shape));
+
+  std::unique_ptr<PlanNode> plan = std::move(optimized.plan);
+
+  // Wrap an aggregate on top when requested.
+  if (num_aggs == 1) {
+    const SqlSelectItem& agg = parsed.select[0];
+    XPRS_ASSIGN_OR_RETURN(auto agg_rc, ResolveColumn(bound, agg.column));
+    XPRS_ASSIGN_OR_RETURN(
+        size_t agg_out,
+        OutputIndex(optimized.colmap, agg_rc.first, agg_rc.second));
+    int group_out = -1;
+    if (parsed.group_by.has_value()) {
+      XPRS_ASSIGN_OR_RETURN(auto g_rc,
+                            ResolveColumn(bound, *parsed.group_by));
+      XPRS_ASSIGN_OR_RETURN(
+          size_t g_out,
+          OutputIndex(optimized.colmap, g_rc.first, g_rc.second));
+      group_out = static_cast<int>(g_out);
+    }
+    plan = MakeAggregate(std::move(plan), agg.func, agg_out, group_out);
+  }
+
+  SqlResult result;
+  result.seqcost = optimized.seqcost;
+  result.parcost = optimized.parcost;
+  result.plan_text = plan->ToString();
+
+  if (ctx == nullptr) {  // EXPLAIN
+    result.schema = plan->output_schema;
+    return result;
+  }
+
+  std::vector<Tuple> rows;
+  if (master != nullptr) {
+    // Parallel path: fragments of the plan run on slave-backend threads
+    // under the adaptive scheduler.
+    ParallelMaster backend(machine_, model_, *master);
+    XPRS_ASSIGN_OR_RETURN(MasterRunResult run,
+                          backend.Run({{plan.get(), /*query_id=*/0}}));
+    rows = std::move(run.query_results.at(0));
+  } else {
+    XPRS_ASSIGN_OR_RETURN(rows, ExecutePlanSequential(*plan, *ctx));
+  }
+
+  if (num_aggs == 1) {
+    result.schema = plan->output_schema;
+    result.rows = std::move(rows);
+    return result;
+  }
+
+  // Projection: * expands to every column with qualified names; explicit
+  // columns project through the optimizer's colmap.
+  std::vector<size_t> out_cols;
+  std::vector<Column> out_schema;
+  auto qualified_name = [&](size_t output_index) {
+    auto [rel, col] = optimized.colmap[output_index];
+    return parsed.from[rel].alias + "." +
+           bound.spec.relations[rel].table->schema().column(col).name;
+  };
+  for (const auto& item : parsed.select) {
+    if (item.kind == SqlSelectItem::Kind::kStar) {
+      for (size_t i = 0; i < optimized.colmap.size(); ++i) {
+        out_cols.push_back(i);
+        auto [rel, col] = optimized.colmap[i];
+        out_schema.push_back(
+            {qualified_name(i),
+             bound.spec.relations[rel].table->schema().column(col).type});
+      }
+      continue;
+    }
+    XPRS_ASSIGN_OR_RETURN(auto rc, ResolveColumn(bound, item.column));
+    XPRS_ASSIGN_OR_RETURN(size_t idx,
+                          OutputIndex(optimized.colmap, rc.first, rc.second));
+    out_cols.push_back(idx);
+    out_schema.push_back(
+        {qualified_name(idx),
+         bound.spec.relations[rc.first].table->schema().column(rc.second)
+             .type});
+  }
+
+  result.schema = Schema(std::move(out_schema));
+  result.rows.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    std::vector<Value> values;
+    values.reserve(out_cols.size());
+    for (size_t idx : out_cols) values.push_back(row.value(idx));
+    result.rows.push_back(Tuple(std::move(values)));
+  }
+  return result;
+}
+
+StatusOr<SqlResult> SqlEngine::Execute(const std::string& sql,
+                                       const ExecContext& ctx,
+                                       TreeShape shape) {
+  return Run(sql, &ctx, shape);
+}
+
+StatusOr<SqlResult> SqlEngine::Explain(const std::string& sql,
+                                       TreeShape shape) {
+  return Run(sql, nullptr, shape);
+}
+
+StatusOr<SqlResult> SqlEngine::ExecuteParallel(const std::string& sql,
+                                               const MasterOptions& options,
+                                               TreeShape shape) {
+  return Run(sql, &options.ctx, shape, &options);
+}
+
+}  // namespace xprs

@@ -1,0 +1,80 @@
+// SqlEngine: binds parsed SQL against a catalog, optimizes it with the
+// two-phase optimizer, executes the plan, and projects the requested
+// columns — the front door a downstream user talks to.
+
+#ifndef XPRS_SQL_ENGINE_H_
+#define XPRS_SQL_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "opt/two_phase.h"
+#include "parallel/master.h"
+#include "sql/parser.h"
+
+namespace xprs {
+
+/// Result of one statement.
+struct SqlResult {
+  Schema schema;
+  std::vector<Tuple> rows;
+  /// Optimizer figures for the executed plan.
+  double seqcost = 0.0;
+  double parcost = 0.0;
+  /// Pretty-printed physical plan (EXPLAIN-style).
+  std::string plan_text;
+
+  std::string ToString() const;
+};
+
+/// The engine. Not thread-safe (one statement at a time).
+class SqlEngine {
+ public:
+  SqlEngine(Catalog* catalog, const MachineConfig& machine,
+            const CostModel* model);
+
+  /// Parses, optimizes (bushy two-phase by default) and executes `sql`.
+  StatusOr<SqlResult> Execute(const std::string& sql,
+                              const ExecContext& ctx = ExecContext(),
+                              TreeShape shape = TreeShape::kBushy);
+
+  /// Parses and optimizes only; plan_text / costs are filled, rows empty.
+  StatusOr<SqlResult> Explain(const std::string& sql,
+                              TreeShape shape = TreeShape::kBushy);
+
+  /// Like Execute, but runs the plan through the master backend: fragments
+  /// are scheduled by the adaptive algorithm and executed by real slave
+  /// threads with dynamic parallelism adjustment.
+  StatusOr<SqlResult> ExecuteParallel(
+      const std::string& sql, const MasterOptions& options = MasterOptions(),
+      TreeShape shape = TreeShape::kBushy);
+
+ private:
+  struct Bound {
+    QuerySpec spec;
+    ParsedQuery parsed;
+  };
+
+  StatusOr<Bound> Bind(const std::string& sql) const;
+
+  // Resolves a column reference to (relation index, column index).
+  StatusOr<std::pair<int, size_t>> ResolveColumn(
+      const Bound& bound, const SqlColumnRef& ref) const;
+
+  // Position of (rel, col) in an optimized plan's output, via its colmap.
+  static StatusOr<size_t> OutputIndex(
+      const std::vector<std::pair<int, size_t>>& colmap, int rel, size_t col);
+
+  StatusOr<SqlResult> Run(const std::string& sql, const ExecContext* ctx,
+                          TreeShape shape,
+                          const MasterOptions* master = nullptr);
+
+  Catalog* const catalog_;
+  MachineConfig machine_;
+  const CostModel* const model_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_SQL_ENGINE_H_

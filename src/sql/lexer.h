@@ -1,0 +1,41 @@
+// SQL lexer for the small query dialect the engine supports.
+
+#ifndef XPRS_SQL_LEXER_H_
+#define XPRS_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xprs {
+
+/// Token kinds.
+enum class TokKind {
+  kIdent,    ///< identifier or keyword (keywords matched case-insensitively)
+  kInt,      ///< integer literal
+  kString,   ///< 'single quoted'
+  kSymbol,   ///< one of ( ) , * . = < > <= >= <>
+  kEnd,
+};
+
+/// One token.
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     ///< identifier (lowercased) / symbol / string body
+  int64_t int_value = 0;
+  size_t offset = 0;    ///< byte offset in the input, for error messages
+
+  bool Is(TokKind k, const char* t = nullptr) const {
+    return kind == k && (t == nullptr || text == t);
+  }
+};
+
+/// Tokenizes `sql`; the final token is kEnd. Identifiers are lowercased
+/// (the dialect is case-insensitive); string bodies keep their case.
+StatusOr<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace xprs
+
+#endif  // XPRS_SQL_LEXER_H_

@@ -1,0 +1,200 @@
+#include "sql/parser.h"
+
+#include "util/str.h"
+
+namespace xprs {
+
+std::string SqlColumnRef::ToString() const {
+  return qualifier.empty() ? column : qualifier + "." + column;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ParsedQuery> Parse() {
+    ParsedQuery q;
+    XPRS_RETURN_IF_ERROR(ExpectKeyword("select"));
+    XPRS_RETURN_IF_ERROR(ParseSelectList(&q));
+    XPRS_RETURN_IF_ERROR(ExpectKeyword("from"));
+    XPRS_RETURN_IF_ERROR(ParseFromList(&q));
+    if (AcceptKeyword("where")) XPRS_RETURN_IF_ERROR(ParseWhere(&q));
+    if (AcceptKeyword("group")) {
+      XPRS_RETURN_IF_ERROR(ExpectKeyword("by"));
+      SqlColumnRef col;
+      XPRS_RETURN_IF_ERROR(ParseColumnRef(&col));
+      q.group_by = col;
+    }
+    if (!Peek().Is(TokKind::kEnd))
+      return Error("unexpected trailing input");
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token Take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("%s near offset %zu", msg.c_str(), Peek().offset));
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().Is(TokKind::kIdent, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) return Error(StrFormat("expected '%s'", kw));
+    return Status::OK();
+  }
+  bool AcceptSymbol(const char* s) {
+    if (Peek().Is(TokKind::kSymbol, s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!AcceptSymbol(s)) return Error(StrFormat("expected '%s'", s));
+    return Status::OK();
+  }
+
+  Status ParseColumnRef(SqlColumnRef* out) {
+    if (!Peek().Is(TokKind::kIdent)) return Error("expected column");
+    std::string first = Take().text;
+    if (AcceptSymbol(".")) {
+      if (!Peek().Is(TokKind::kIdent)) return Error("expected column name");
+      out->qualifier = first;
+      out->column = Take().text;
+    } else {
+      out->qualifier.clear();
+      out->column = first;
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectList(ParsedQuery* q) {
+    do {
+      SqlSelectItem item;
+      if (AcceptSymbol("*")) {
+        item.kind = SqlSelectItem::Kind::kStar;
+      } else if (Peek().Is(TokKind::kIdent) &&
+                 Peek(1).Is(TokKind::kSymbol, "(")) {
+        const std::string& fn = Peek().text;
+        AggFunc func;
+        if (fn == "count") {
+          func = AggFunc::kCount;
+        } else if (fn == "sum") {
+          func = AggFunc::kSum;
+        } else if (fn == "min") {
+          func = AggFunc::kMin;
+        } else if (fn == "max") {
+          func = AggFunc::kMax;
+        } else {
+          return Error("unknown function '" + fn + "'");
+        }
+        Take();  // function name
+        Take();  // '('
+        item.kind = SqlSelectItem::Kind::kAggregate;
+        item.func = func;
+        XPRS_RETURN_IF_ERROR(ParseColumnRef(&item.column));
+        XPRS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        item.kind = SqlSelectItem::Kind::kColumn;
+        XPRS_RETURN_IF_ERROR(ParseColumnRef(&item.column));
+      }
+      q->select.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseFromList(ParsedQuery* q) {
+    do {
+      if (!Peek().Is(TokKind::kIdent)) return Error("expected table name");
+      SqlTableRef ref;
+      ref.table = Take().text;
+      ref.alias = ref.table;
+      // Optional alias: an identifier that is not a clause keyword.
+      if (Peek().Is(TokKind::kIdent) && Peek().text != "where" &&
+          Peek().text != "group") {
+        ref.alias = Take().text;
+      }
+      q->from.push_back(std::move(ref));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseWhere(ParsedQuery* q) {
+    do {
+      SqlCondition cond;
+      XPRS_RETURN_IF_ERROR(ParseColumnRef(&cond.lhs));
+
+      if (AcceptKeyword("between")) {
+        cond.kind = SqlCondition::Kind::kBetween;
+        if (!Peek().Is(TokKind::kInt)) return Error("expected integer");
+        cond.lo = static_cast<int32_t>(Take().int_value);
+        XPRS_RETURN_IF_ERROR(ExpectKeyword("and"));
+        if (!Peek().Is(TokKind::kInt)) return Error("expected integer");
+        cond.hi = static_cast<int32_t>(Take().int_value);
+        q->where.push_back(std::move(cond));
+        continue;
+      }
+
+      CmpOp op;
+      if (AcceptSymbol("=")) {
+        op = CmpOp::kEq;
+      } else if (AcceptSymbol("<>")) {
+        op = CmpOp::kNe;
+      } else if (AcceptSymbol("<=")) {
+        op = CmpOp::kLe;
+      } else if (AcceptSymbol(">=")) {
+        op = CmpOp::kGe;
+      } else if (AcceptSymbol("<")) {
+        op = CmpOp::kLt;
+      } else if (AcceptSymbol(">")) {
+        op = CmpOp::kGt;
+      } else {
+        return Error("expected comparison operator");
+      }
+      cond.op = op;
+
+      if (Peek().Is(TokKind::kInt)) {
+        cond.kind = SqlCondition::Kind::kCompare;
+        cond.constant = Value(static_cast<int32_t>(Take().int_value));
+      } else if (Peek().Is(TokKind::kString)) {
+        cond.kind = SqlCondition::Kind::kCompare;
+        cond.constant = Value(Take().text);
+      } else if (Peek().Is(TokKind::kIdent)) {
+        if (op != CmpOp::kEq)
+          return Error("join conditions must use '='");
+        cond.kind = SqlCondition::Kind::kJoin;
+        XPRS_RETURN_IF_ERROR(ParseColumnRef(&cond.rhs));
+      } else {
+        return Error("expected literal or column");
+      }
+      q->where.push_back(std::move(cond));
+    } while (AcceptKeyword("and"));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ParsedQuery> ParseSql(const std::string& sql) {
+  XPRS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace xprs

@@ -1,0 +1,80 @@
+// SQL parser producing the small AST the binder consumes.
+//
+// Supported dialect (enough for the paper's workloads — selections,
+// multi-way equi-joins, aggregates):
+//
+//   SELECT <item> [, <item>]*
+//   FROM <table> [alias] [, <table> [alias]]*
+//   [WHERE <cond> [AND <cond>]*]
+//   [GROUP BY <colref>]
+//
+//   item  := * | colref | count(colref) | sum(colref) | min(colref)
+//          | max(colref)
+//   cond  := colref op (int | 'string')     -- selection
+//          | colref BETWEEN int AND int     -- selection
+//          | colref = colref                -- equi-join
+//   op    := = | <> | < | <= | > | >=
+//   colref:= column | table.column | alias.column
+
+#ifndef XPRS_SQL_PARSER_H_
+#define XPRS_SQL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+#include "sql/lexer.h"
+#include "storage/tuple.h"
+
+namespace xprs {
+
+/// A possibly-qualified column reference.
+struct SqlColumnRef {
+  std::string qualifier;  ///< table name or alias; empty = unqualified
+  std::string column;
+  std::string ToString() const;
+};
+
+/// One SELECT-list item.
+struct SqlSelectItem {
+  enum class Kind { kStar, kColumn, kAggregate };
+  Kind kind = Kind::kStar;
+  SqlColumnRef column;            // kColumn / kAggregate
+  AggFunc func = AggFunc::kCount; // kAggregate
+};
+
+/// FROM-list entry.
+struct SqlTableRef {
+  std::string table;
+  std::string alias;  ///< equals `table` when none given
+};
+
+/// One WHERE conjunct.
+struct SqlCondition {
+  enum class Kind { kCompare, kBetween, kJoin };
+  Kind kind = Kind::kCompare;
+  SqlColumnRef lhs;
+  // kCompare:
+  CmpOp op = CmpOp::kEq;
+  Value constant;
+  // kBetween:
+  int32_t lo = 0, hi = 0;
+  // kJoin:
+  SqlColumnRef rhs;
+};
+
+/// A parsed (not yet bound) query.
+struct ParsedQuery {
+  std::vector<SqlSelectItem> select;
+  std::vector<SqlTableRef> from;
+  std::vector<SqlCondition> where;
+  std::optional<SqlColumnRef> group_by;
+};
+
+/// Parses one SELECT statement.
+StatusOr<ParsedQuery> ParseSql(const std::string& sql);
+
+}  // namespace xprs
+
+#endif  // XPRS_SQL_PARSER_H_

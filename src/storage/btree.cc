@@ -1,0 +1,296 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+std::string KeyRange::ToString() const {
+  return StrFormat("[%d, %d]", lo, hi);
+}
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<int32_t> keys;
+  // Internal nodes: children.size() == keys.size() + 1; child i holds keys
+  // in [keys[i-1], keys[i]) (left-inclusive).
+  std::vector<Node*> children;
+  // Leaves: tids parallel to keys.
+  std::vector<TupleId> tids;
+  Node* next = nullptr;  // leaf chain
+};
+
+BTreeIndex::BTreeIndex(int fanout) : fanout_(fanout), root_(new Node()) {
+  XPRS_CHECK_GE(fanout, 4);
+}
+
+void BTreeIndex::DeleteSubtree(Node* node) {
+  if (node == nullptr) return;
+  if (!node->leaf)
+    for (auto* c : node->children) DeleteSubtree(c);
+  delete node;
+}
+
+BTreeIndex::~BTreeIndex() { DeleteSubtree(root_); }
+
+BTreeIndex::Node* BTreeIndex::FindLeaf(int32_t key) const {
+  Node* node = root_;
+  while (!node->leaf) {
+    size_t idx = std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+                 node->keys.begin();
+    node = node->children[idx];
+  }
+  return node;
+}
+
+void BTreeIndex::Insert(int32_t key, TupleId tid) {
+  Node* leaf = FindLeaf(key);
+  size_t pos = std::upper_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+               leaf->keys.begin();
+  leaf->keys.insert(leaf->keys.begin() + pos, key);
+  leaf->tids.insert(leaf->tids.begin() + pos, tid);
+  ++size_;
+
+  if (leaf->keys.size() <= static_cast<size_t>(fanout_)) return;
+
+  // Split the leaf, keeping duplicates of one key together so a scan never
+  // has to look left of FindLeaf's result. If the whole node is one key,
+  // let it grow (documented pathological case).
+  size_t mid = leaf->keys.size() / 2;
+  size_t probe = mid;
+  while (probe < leaf->keys.size() && leaf->keys[probe] == leaf->keys[probe - 1])
+    ++probe;
+  if (probe >= leaf->keys.size()) {
+    probe = mid;
+    while (probe > 1 && leaf->keys[probe] == leaf->keys[probe - 1]) --probe;
+    if (probe <= 1 && leaf->keys[probe] == leaf->keys[probe - 1]) return;
+  }
+  mid = probe;
+
+  Node* right = new Node();
+  right->leaf = true;
+  right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
+  right->tids.assign(leaf->tids.begin() + mid, leaf->tids.end());
+  leaf->keys.resize(mid);
+  leaf->tids.resize(mid);
+  right->next = leaf->next;
+  leaf->next = right;
+  InsertIntoParent(leaf, right->keys.front(), right);
+}
+
+void BTreeIndex::InsertIntoParent(Node* left, int32_t sep, Node* right) {
+  if (left == root_) {
+    Node* new_root = new Node();
+    new_root->leaf = false;
+    new_root->keys = {sep};
+    new_root->children = {left, right};
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  Node* parent = left->parent;
+  size_t idx = std::upper_bound(parent->keys.begin(), parent->keys.end(), sep) -
+               parent->keys.begin();
+  parent->keys.insert(parent->keys.begin() + idx, sep);
+  parent->children.insert(parent->children.begin() + idx + 1, right);
+  right->parent = parent;
+
+  if (parent->keys.size() <= static_cast<size_t>(fanout_)) return;
+
+  // Split the internal node: the middle key moves up.
+  size_t mid = parent->keys.size() / 2;
+  int32_t up = parent->keys[mid];
+  Node* sibling = new Node();
+  sibling->leaf = false;
+  sibling->keys.assign(parent->keys.begin() + mid + 1, parent->keys.end());
+  sibling->children.assign(parent->children.begin() + mid + 1,
+                           parent->children.end());
+  for (Node* c : sibling->children) c->parent = sibling;
+  parent->keys.resize(mid);
+  parent->children.resize(mid + 1);
+  InsertIntoParent(parent, up, sibling);
+}
+
+int BTreeIndex::height() const {
+  int h = 1;
+  const Node* node = root_;
+  while (!node->leaf) {
+    node = node->children.front();
+    ++h;
+  }
+  return h;
+}
+
+std::vector<TupleId> BTreeIndex::Lookup(int32_t key) const {
+  std::vector<TupleId> out;
+  for (Iterator it = Scan(key, key); it.Valid(); it.Next())
+    out.push_back(it.tid());
+  return out;
+}
+
+int32_t BTreeIndex::Iterator::key() const {
+  return static_cast<const Node*>(node_)->keys[pos_];
+}
+
+TupleId BTreeIndex::Iterator::tid() const {
+  return static_cast<const Node*>(node_)->tids[pos_];
+}
+
+void BTreeIndex::Iterator::SkipPastEnd() {
+  const Node* n = static_cast<const Node*>(node_);
+  while (n != nullptr && pos_ >= n->keys.size()) {
+    n = n->next;
+    pos_ = 0;
+  }
+  if (n != nullptr && n->keys[pos_] > hi_) n = nullptr;
+  node_ = n;
+}
+
+void BTreeIndex::Iterator::Next() {
+  XPRS_CHECK(Valid());
+  ++pos_;
+  SkipPastEnd();
+}
+
+BTreeIndex::Iterator BTreeIndex::Scan(int32_t lo, int32_t hi) const {
+  Node* leaf = FindLeaf(lo);
+  size_t pos = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
+               leaf->keys.begin();
+  Iterator it(leaf, pos, hi);
+  it.SkipPastEnd();
+  return it;
+}
+
+size_t BTreeIndex::CountRange(int32_t lo, int32_t hi) const {
+  size_t count = 0;
+  for (Iterator it = Scan(lo, hi); it.Valid(); it.Next()) ++count;
+  return count;
+}
+
+std::optional<int32_t> BTreeIndex::SplitKeyAt(const KeyRange& range,
+                                              size_t want) const {
+  if (want == 0) return std::nullopt;
+  size_t seen = 0;  // entries with key <= prev
+  int32_t prev = 0;
+  bool have_prev = false;
+  for (Iterator it = Scan(range.lo, range.hi); it.Valid(); it.Next()) {
+    int32_t k = it.key();
+    // When a new distinct key begins, `prev` cleanly closes a prefix of
+    // `seen` entries; split there once the prefix is big enough.
+    if (have_prev && k != prev && seen >= want) return prev;
+    ++seen;
+    prev = k;
+    have_prev = true;
+  }
+  return std::nullopt;  // not enough entries / distinct keys to split
+}
+
+StatusOr<int32_t> BTreeIndex::MinKey() const {
+  if (size_ == 0) return Status::FailedPrecondition("empty index");
+  const Node* node = root_;
+  while (!node->leaf) node = node->children.front();
+  // Leftmost leaf can be empty only for an empty tree.
+  return node->keys.front();
+}
+
+StatusOr<int32_t> BTreeIndex::MaxKey() const {
+  if (size_ == 0) return Status::FailedPrecondition("empty index");
+  const Node* node = root_;
+  while (!node->leaf) node = node->children.back();
+  return node->keys.back();
+}
+
+std::vector<KeyRange> BTreeIndex::BalancedRanges(int n) const {
+  std::vector<KeyRange> ranges;
+  if (size_ == 0 || n <= 0) return ranges;
+  const size_t target = (size_ + n - 1) / n;
+
+  int32_t min_key = MinKey().value();
+  int32_t max_key = MaxKey().value();
+
+  int32_t range_lo = min_key;
+  size_t in_range = 0;
+  Iterator it = Scan(min_key, max_key);
+  int32_t prev_key = min_key;
+  while (it.Valid()) {
+    int32_t k = it.key();
+    if (in_range >= target && k != prev_key) {
+      ranges.push_back({range_lo, prev_key});
+      range_lo = k;
+      in_range = 0;
+    }
+    ++in_range;
+    prev_key = k;
+    it.Next();
+  }
+  ranges.push_back({range_lo, max_key});
+  return ranges;
+}
+
+Status BTreeIndex::CheckNode(const Node* node, int depth, int leaf_depth,
+                             int32_t lo_bound, bool has_lo, int32_t hi_bound,
+                             bool has_hi) const {
+  if (node->leaf) {
+    if (depth != leaf_depth)
+      return Status::Internal("leaves at different depths");
+    if (node->keys.size() != node->tids.size())
+      return Status::Internal("leaf keys/tids size mismatch");
+    if (!std::is_sorted(node->keys.begin(), node->keys.end()))
+      return Status::Internal("leaf keys not sorted");
+  } else {
+    if (node->children.size() != node->keys.size() + 1)
+      return Status::Internal("internal child count mismatch");
+    for (size_t i = 1; i < node->keys.size(); ++i)
+      if (node->keys[i - 1] >= node->keys[i])
+        return Status::Internal("internal keys not strictly increasing");
+  }
+  for (int32_t k : node->keys) {
+    if (has_lo && k < lo_bound) return Status::Internal("key below bound");
+    if (has_hi && k >= hi_bound) return Status::Internal("key above bound");
+  }
+  if (!node->leaf) {
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (node->children[i]->parent != node)
+        return Status::Internal("broken parent pointer");
+      int32_t lo = (i == 0) ? lo_bound : node->keys[i - 1];
+      bool hl = (i == 0) ? has_lo : true;
+      int32_t hi = (i == node->keys.size()) ? hi_bound : node->keys[i];
+      bool hh = (i == node->keys.size()) ? has_hi : true;
+      XPRS_RETURN_IF_ERROR(
+          CheckNode(node->children[i], depth + 1, leaf_depth, lo, hl, hi, hh));
+    }
+  }
+  return Status::OK();
+}
+
+Status BTreeIndex::CheckInvariants() const {
+  int leaf_depth = height();
+  XPRS_RETURN_IF_ERROR(
+      CheckNode(root_, 1, leaf_depth, 0, false, 0, false));
+
+  // Leaf chain covers exactly size_ entries in non-decreasing key order.
+  const Node* node = root_;
+  while (!node->leaf) node = node->children.front();
+  size_t count = 0;
+  bool first = true;
+  int32_t prev = 0;
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next) {
+    for (int32_t k : leaf->keys) {
+      if (!first && k < prev)
+        return Status::Internal("leaf chain out of order");
+      prev = k;
+      first = false;
+      ++count;
+    }
+  }
+  if (count != size_)
+    return Status::Internal(
+        StrFormat("leaf chain has %zu entries, expected %zu", count, size_));
+  return Status::OK();
+}
+
+}  // namespace xprs

@@ -1,0 +1,118 @@
+// In-memory B+tree index on an int4 key, mapping key -> TupleId.
+//
+// Models the paper's unclustered index on r.a: an index scan follows leaf
+// entries to qualifying tuples, paying one (random) page read per tuple —
+// which is why index scans on unclustered indexes are the most IO-bound
+// tasks in §3. The tree also supplies the key-distribution information the
+// range-partitioning parallelism mechanism needs ("we try to find a
+// balanced range partition with data distribution information ... in the
+// root node of an index", §2.4).
+//
+// Duplicates are supported (stored as separate leaf entries). The tree is
+// built once at load time and read concurrently; reads are lock-free.
+
+#ifndef XPRS_STORAGE_BTREE_H_
+#define XPRS_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace xprs {
+
+/// Closed key interval [lo, hi].
+struct KeyRange {
+  int32_t lo = 0;
+  int32_t hi = 0;
+  bool Contains(int32_t k) const { return k >= lo && k <= hi; }
+  std::string ToString() const;
+};
+
+/// B+tree index: int32 key -> TupleId, duplicates allowed.
+class BTreeIndex {
+ public:
+  /// `fanout` is the maximum number of keys per node (>= 4).
+  explicit BTreeIndex(int fanout = 64);
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  /// Inserts an entry.
+  void Insert(int32_t key, TupleId tid);
+
+  /// Number of entries.
+  size_t size() const { return size_; }
+
+  /// Height of the tree (1 = just a leaf).
+  int height() const;
+
+  /// All TupleIds with exactly this key, in insertion order per leaf order.
+  std::vector<TupleId> Lookup(int32_t key) const;
+
+  /// Forward iterator over leaf entries with key in [lo, hi].
+  class Iterator {
+   public:
+    bool Valid() const { return node_ != nullptr; }
+    int32_t key() const;
+    TupleId tid() const;
+    void Next();
+
+   private:
+    friend class BTreeIndex;
+    Iterator(const void* node, size_t pos, int32_t hi)
+        : node_(node), pos_(pos), hi_(hi) {}
+    void SkipPastEnd();
+    const void* node_;
+    size_t pos_;
+    int32_t hi_;
+  };
+
+  /// Iterator positioned at the first entry with key >= lo, bounded by hi.
+  Iterator Scan(int32_t lo, int32_t hi) const;
+
+  /// Splits the key domain into up to `n` ranges containing approximately
+  /// equal numbers of entries (the balanced range partition of §2.4).
+  /// Returns fewer ranges when there are not enough distinct keys. Empty
+  /// tree yields an empty vector.
+  std::vector<KeyRange> BalancedRanges(int n) const;
+
+  /// Number of entries with key in [lo, hi] (exact, by leaf walk).
+  size_t CountRange(int32_t lo, int32_t hi) const;
+
+  /// Finds a split key so that [range.lo, key] holds roughly `want`
+  /// entries of `range`, without separating duplicates. Returns nothing
+  /// when the range cannot be split (too few distinct keys).
+  std::optional<int32_t> SplitKeyAt(const KeyRange& range, size_t want) const;
+
+  /// Smallest / largest key; FailedPrecondition on an empty tree.
+  StatusOr<int32_t> MinKey() const;
+  StatusOr<int32_t> MaxKey() const;
+
+  /// Internal structural invariants (sortedness, balance, fill, linkage);
+  /// used by tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  static void DeleteSubtree(Node* node);
+  Node* FindLeaf(int32_t key) const;
+  void InsertIntoParent(Node* left, int32_t sep, Node* right);
+  void CollectEntryCountsPerLeaf(std::vector<const Node*>* leaves) const;
+  Status CheckNode(const Node* node, int depth, int leaf_depth,
+                   int32_t lo_bound, bool has_lo, int32_t hi_bound,
+                   bool has_hi) const;
+
+  const int fanout_;
+  Node* root_;
+  size_t size_ = 0;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_STORAGE_BTREE_H_

@@ -1,0 +1,149 @@
+#include "storage/buffer_pool.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+PageHandle::PageHandle(BufferPool* pool, size_t frame, const Page* page)
+    : pool_(pool), frame_(frame), page_(page) {}
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_), page_(other.page_) {
+  other.pool_ = nullptr;
+  other.page_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_ = other.page_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    page_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskArray* array, size_t num_frames) : array_(array) {
+  XPRS_CHECK(array != nullptr);
+  XPRS_CHECK_GE(num_frames, 1u);
+  frames_.resize(num_frames);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  XPRS_CHECK_GT(frames_[frame].pins, 0);
+  --frames_[frame].pins;
+}
+
+StatusOr<size_t> BufferPool::FindOrClaimLocked(
+    BlockId block, bool* needs_load, std::unique_lock<std::mutex>* lock) {
+  for (;;) {
+    auto it = table_.find(block);
+    if (it != table_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.loading) {
+        // Another thread is reading this block; wait for it.
+        load_cv_.wait(*lock);
+        continue;  // re-lookup: the load may have failed and been evicted
+      }
+      ++f.pins;
+      f.ref_bit = true;
+      ++stats_.hits;
+      *needs_load = false;
+      return it->second;
+    }
+
+    // Miss: claim a victim frame with the clock sweep (two passes: the
+    // first clears reference bits, the second takes the first unpinned
+    // frame).
+    size_t scanned = 0;
+    const size_t limit = 2 * frames_.size();
+    size_t victim = frames_.size();
+    while (scanned < limit) {
+      Frame& f = frames_[clock_hand_];
+      size_t idx = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % frames_.size();
+      ++scanned;
+      if (f.pins > 0 || f.loading) continue;
+      if (f.occupied && f.ref_bit) {
+        f.ref_bit = false;
+        continue;
+      }
+      victim = idx;
+      break;
+    }
+    if (victim == frames_.size()) {
+      return Status::ResourceExhausted("all buffer frames pinned");
+    }
+
+    Frame& f = frames_[victim];
+    if (f.occupied) table_.erase(f.block);
+    f.block = block;
+    f.occupied = true;
+    f.loading = true;
+    f.ref_bit = true;
+    f.pins = 1;
+    table_[block] = victim;
+    ++stats_.misses;
+    *needs_load = true;
+    return victim;
+  }
+}
+
+StatusOr<PageHandle> BufferPool::Fetch(BlockId block) {
+  bool needs_load = false;
+  size_t frame;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto claimed = FindOrClaimLocked(block, &needs_load, &lock);
+    if (!claimed.ok()) return claimed.status();
+    frame = claimed.value();
+  }
+
+  if (needs_load) {
+    // Disk read happens outside the pool latch so misses on different
+    // disks proceed in parallel.
+    Status st = array_->ReadBlock(block, &frames_[frame].page);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      frames_[frame].loading = false;
+      if (!st.ok()) {
+        // Roll the claim back so waiters retry and the frame is reusable.
+        table_.erase(block);
+        frames_[frame].occupied = false;
+        frames_[frame].pins = 0;
+      }
+    }
+    load_cv_.notify_all();
+    if (!st.ok()) return st;
+  }
+  return PageHandle(this, frame, &frames_[frame].page);
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string BufferPool::ToString() const {
+  BufferPoolStats s = stats();
+  return StrFormat("BufferPool{%zu frames, hits=%llu misses=%llu (%.1f%%)}",
+                   frames_.size(), static_cast<unsigned long long>(s.hits),
+                   static_cast<unsigned long long>(s.misses),
+                   s.hit_rate() * 100.0);
+}
+
+}  // namespace xprs

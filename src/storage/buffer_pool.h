@@ -1,0 +1,105 @@
+// Shared buffer pool with clock (second-chance) replacement.
+//
+// All backends of the real-thread executor share one pool, as in XPRS's
+// shared-memory design. Frames are pinned while in use; a miss performs the
+// disk read outside the pool latch so concurrent misses on different disks
+// overlap — this is what lets an IO-bound and a CPU-bound fragment genuinely
+// share the machine.
+
+#ifndef XPRS_STORAGE_BUFFER_POOL_H_
+#define XPRS_STORAGE_BUFFER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_array.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace xprs {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Unpins on destruction.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, size_t frame, const Page* page);
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  const Page& page() const { return *page_; }
+
+  /// Explicit early release.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  const Page* page_ = nullptr;
+};
+
+/// Buffer pool statistics.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double hit_rate() const {
+    uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+/// Fixed-size page cache over a DiskArray. Thread-safe.
+class BufferPool {
+ public:
+  BufferPool(DiskArray* array, size_t num_frames);
+
+  size_t num_frames() const { return frames_.size(); }
+
+  /// Returns a pinned handle on the block, reading it from disk on a miss.
+  /// Fails with ResourceExhausted when every frame is pinned.
+  StatusOr<PageHandle> Fetch(BlockId block);
+
+  BufferPoolStats stats() const;
+
+  std::string ToString() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    Page page;
+    BlockId block = 0;
+    bool occupied = false;
+    bool loading = false;   // a thread is reading it from disk
+    bool ref_bit = false;   // clock second chance
+    int pins = 0;
+  };
+
+  void Unpin(size_t frame);
+
+  // Finds the frame holding `block` or claims a victim for it. Returns the
+  // frame index and whether a disk load is needed; called under mutex_.
+  StatusOr<size_t> FindOrClaimLocked(BlockId block, bool* needs_load,
+                                     std::unique_lock<std::mutex>* lock);
+
+  DiskArray* const array_;
+  mutable std::mutex mutex_;
+  std::condition_variable load_cv_;  // signaled when a load completes
+  std::vector<Frame> frames_;
+  std::unordered_map<BlockId, size_t> table_;  // block -> frame
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,147 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+Table::Table(std::string name, Schema schema, DiskArray* array)
+    : file_(std::move(name), std::move(schema), array) {}
+
+Status Table::BuildIndex(size_t column) {
+  if (column >= schema().num_columns())
+    return Status::InvalidArgument("index column out of range");
+  if (schema().column(column).type != TypeId::kInt4)
+    return Status::InvalidArgument("index column must be int4");
+
+  auto index = std::make_unique<BTreeIndex>();
+  Page page;
+  for (uint32_t p = 0; p < file_.num_pages(); ++p) {
+    XPRS_RETURN_IF_ERROR(file_.ReadPage(p, &page));
+    for (uint16_t s = 0; s < page.num_tuples(); ++s) {
+      const uint8_t* data;
+      uint16_t size;
+      XPRS_RETURN_IF_ERROR(page.GetTuple(s, &data, &size));
+      XPRS_ASSIGN_OR_RETURN(Tuple tuple,
+                            Tuple::Deserialize(schema(), data, size));
+      const Value& v = tuple.value(column);
+      if (IsNull(v)) continue;
+      index->Insert(std::get<int32_t>(v), TupleId{p, s});
+    }
+  }
+  index_ = std::move(index);
+  index_column_ = static_cast<int>(column);
+  return Status::OK();
+}
+
+double TableStats::KeyRangeFraction(int32_t lo, int32_t hi) const {
+  if (!has_key_bounds || hi < lo) return 0.0;
+
+  if (!histogram_bounds.empty() &&
+      histogram_counts.size() == histogram_bounds.size()) {
+    // Equi-depth: bucket i covers (prev_bound, bounds[i]] and holds
+    // counts[i] keys; interpolate linearly inside buckets.
+    double total = 0.0;
+    double covered = 0.0;
+    int64_t prev = static_cast<int64_t>(min_key) - 1;
+    for (size_t i = 0; i < histogram_bounds.size(); ++i) {
+      int32_t bound = histogram_bounds[i];
+      double width = static_cast<double>(bound) - prev;  // > 0
+      double depth = static_cast<double>(histogram_counts[i]);
+      total += depth;
+      int64_t blo = std::max<int64_t>(lo, prev + 1);
+      int64_t bhi = std::min<int64_t>(hi, bound);
+      if (bhi >= blo && width > 0)
+        covered += depth * (static_cast<double>(bhi) - blo + 1) / width;
+      prev = bound;
+    }
+    return total > 0 ? std::min(covered / total, 1.0) : 0.0;
+  }
+
+  double span = static_cast<double>(max_key) - min_key + 1.0;
+  double clo = std::max<double>(lo, min_key);
+  double chi = std::min<double>(hi, max_key);
+  if (chi < clo) return 0.0;
+  return std::clamp((chi - clo + 1.0) / span, 0.0, 1.0);
+}
+
+Status Table::ComputeStats(size_t key_column, int histogram_buckets) {
+  if (key_column >= schema().num_columns())
+    return Status::InvalidArgument("stats column out of range");
+  TableStats stats;
+  stats.num_pages = file_.num_pages();
+  std::vector<int32_t> keys;
+  Page page;
+  for (uint32_t p = 0; p < file_.num_pages(); ++p) {
+    XPRS_RETURN_IF_ERROR(file_.ReadPage(p, &page));
+    for (uint16_t s = 0; s < page.num_tuples(); ++s) {
+      const uint8_t* data;
+      uint16_t size;
+      XPRS_RETURN_IF_ERROR(page.GetTuple(s, &data, &size));
+      XPRS_ASSIGN_OR_RETURN(Tuple tuple,
+                            Tuple::Deserialize(schema(), data, size));
+      ++stats.num_tuples;
+      const Value& v = tuple.value(key_column);
+      if (IsNull(v) || !std::holds_alternative<int32_t>(v)) continue;
+      int32_t k = std::get<int32_t>(v);
+      keys.push_back(k);
+      if (!stats.has_key_bounds) {
+        stats.min_key = stats.max_key = k;
+        stats.has_key_bounds = true;
+      } else {
+        stats.min_key = std::min(stats.min_key, k);
+        stats.max_key = std::max(stats.max_key, k);
+      }
+    }
+  }
+  stats.tuples_per_page =
+      stats.num_pages ? static_cast<double>(stats.num_tuples) / stats.num_pages
+                      : 0.0;
+
+  // Equi-depth histogram over the collected keys (§2.4: "data distribution
+  // information in the system catalog"). Duplicates of a bucket's upper
+  // bound are absorbed into the bucket so bounds stay strictly increasing
+  // and no count mass is lost.
+  if (histogram_buckets > 1 && keys.size() >= 2) {
+    std::sort(keys.begin(), keys.end());
+    uint64_t depth = (keys.size() + histogram_buckets - 1) /
+                     static_cast<uint64_t>(histogram_buckets);
+    depth = std::max<uint64_t>(depth, 1);
+    size_t i = 0;
+    while (i < keys.size()) {
+      size_t end = std::min(i + static_cast<size_t>(depth), keys.size());
+      int32_t bound = keys[end - 1];
+      while (end < keys.size() && keys[end] == bound) ++end;
+      stats.histogram_bounds.push_back(bound);
+      stats.histogram_counts.push_back(end - i);
+      i = end;
+    }
+  }
+
+  stats_ = stats;
+  return Status::OK();
+}
+
+Catalog::Catalog(DiskArray* array) : array_(array) {
+  XPRS_CHECK(array != nullptr);
+}
+
+StatusOr<Table*> Catalog::CreateTable(const std::string& name,
+                                      const Schema& schema) {
+  if (tables_.count(name))
+    return Status::AlreadyExists("relation " + name);
+  auto table = std::make_unique<Table>(name, schema, array_);
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+StatusOr<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("relation " + name);
+  return it->second.get();
+}
+
+}  // namespace xprs

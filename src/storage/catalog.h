@@ -1,0 +1,100 @@
+// System catalog: relations, their indexes and the statistics the
+// optimizer and the range partitioner consult.
+
+#ifndef XPRS_STORAGE_CATALOG_H_
+#define XPRS_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+#include <memory>
+#include <string>
+
+#include "storage/btree.h"
+#include "storage/disk_array.h"
+#include "storage/heap_file.h"
+#include "util/status.h"
+
+namespace xprs {
+
+/// Optimizer-visible statistics of one relation.
+struct TableStats {
+  uint64_t num_tuples = 0;
+  uint32_t num_pages = 0;
+  double tuples_per_page = 0.0;
+  /// Min/max of the indexed key column (a); valid when num_tuples > 0 and
+  /// the column is non-null somewhere.
+  int32_t min_key = 0;
+  int32_t max_key = 0;
+  bool has_key_bounds = false;
+
+  /// Equi-depth histogram of the key column: bucket i covers
+  /// (histogram_bounds[i-1], histogram_bounds[i]] and holds
+  /// histogram_counts[i] keys (duplicates are never split across buckets,
+  /// so counts vary around the nominal depth). Empty = none built ("data
+  /// distribution information in the system catalog", §2.4).
+  std::vector<int32_t> histogram_bounds;
+  std::vector<uint64_t> histogram_counts;
+
+  /// Estimated fraction of (non-null) keys in [lo, hi]: histogram-based
+  /// when available, uniform interpolation between min/max otherwise, 0
+  /// when there are no key bounds.
+  double KeyRangeFraction(int32_t lo, int32_t hi) const;
+};
+
+/// A relation: heap file, optional unclustered B+tree index on a key
+/// column, and statistics.
+class Table {
+ public:
+  Table(std::string name, Schema schema, DiskArray* array);
+
+  const std::string& name() const { return file_.name(); }
+  const Schema& schema() const { return file_.schema(); }
+  HeapFile& file() { return file_; }
+  const HeapFile& file() const { return file_; }
+
+  /// The indexed column, or -1 when no index exists.
+  int index_column() const { return index_column_; }
+  const BTreeIndex* index() const { return index_.get(); }
+
+  /// Builds an unclustered B+tree index over int4 column `column` by
+  /// scanning the heap file. NULL keys are skipped.
+  Status BuildIndex(size_t column);
+
+  /// Recomputes statistics by scanning the heap file (key bounds are taken
+  /// from column `key_column`, default 0). Builds an equi-depth histogram
+  /// with up to `histogram_buckets` buckets (0 disables it).
+  Status ComputeStats(size_t key_column = 0, int histogram_buckets = 32);
+
+  const TableStats& stats() const { return stats_; }
+
+ private:
+  HeapFile file_;
+  std::unique_ptr<BTreeIndex> index_;
+  int index_column_ = -1;
+  TableStats stats_;
+};
+
+/// Name -> Table registry over one disk array.
+class Catalog {
+ public:
+  explicit Catalog(DiskArray* array);
+
+  DiskArray* disk_array() const { return array_; }
+
+  /// Creates an empty relation; AlreadyExists if the name is taken.
+  StatusOr<Table*> CreateTable(const std::string& name, const Schema& schema);
+
+  /// Looks a relation up; NotFound if absent.
+  StatusOr<Table*> GetTable(const std::string& name) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  DiskArray* const array_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_STORAGE_CATALOG_H_

@@ -1,0 +1,143 @@
+#include "storage/disk_array.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+DiskArray::DiskArray(int num_disks, DiskMode mode, const DiskTimings& timings)
+    : num_disks_(num_disks), mode_(mode), timings_(timings) {
+  XPRS_CHECK_GE(num_disks, 1);
+  disks_.reserve(num_disks_);
+  for (int i = 0; i < num_disks_; ++i)
+    disks_.push_back(std::make_unique<DiskState>());
+}
+
+BlockId DiskArray::num_blocks() const {
+  std::lock_guard<std::mutex> lock(blocks_mutex_);
+  return static_cast<BlockId>(blocks_.size());
+}
+
+BlockId DiskArray::AllocateBlock() {
+  std::lock_guard<std::mutex> lock(blocks_mutex_);
+  blocks_.emplace_back();
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+Status DiskArray::ReadBlock(BlockId block, Page* out) {
+  XPRS_CHECK(out != nullptr);
+  // Injected fault (tests): consume one pending fault atomically.
+  int pending = pending_faults_.load(std::memory_order_relaxed);
+  while (pending > 0) {
+    if (pending_faults_.compare_exchange_weak(pending, pending - 1)) {
+      return Status::IoError(
+          StrFormat("injected read fault on block %u", block));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(blocks_mutex_);
+    if (block >= blocks_.size())
+      return Status::OutOfRange(StrFormat("block %u of %zu", block,
+                                          blocks_.size()));
+  }
+
+  DiskState& disk = *disks_[DiskOf(block)];
+  // The per-disk block index: consecutive *global* blocks land on
+  // consecutive disks, so a striped sequential scan advances each disk's
+  // local index by exactly one per round.
+  const int64_t local = static_cast<int64_t>(block / num_disks_);
+
+  std::lock_guard<std::mutex> disk_lock(disk.mutex);
+  double service;
+  if (disk.last_block >= 0 && local == disk.last_block + 1) {
+    service = timings_.seq_read;
+    ++disk.stats.seq_reads;
+  } else if (disk.last_block >= 0 && local > disk.last_block &&
+             local <= disk.last_block + timings_.almost_seq_window) {
+    service = timings_.almost_seq_read;
+    ++disk.stats.almost_seq_reads;
+  } else if (disk.last_block < 0 && local == 0) {
+    // First touch at the start of the platter counts as sequential.
+    service = timings_.seq_read;
+    ++disk.stats.seq_reads;
+  } else {
+    service = timings_.rand_read;
+    ++disk.stats.rand_reads;
+  }
+  service *= timings_.time_scale;
+  disk.last_block = local;
+  ++disk.stats.reads;
+  disk.stats.busy_seconds += service;
+
+  if (mode_ == DiskMode::kThrottled) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(service));
+  }
+
+  // blocks_ only grows and deque elements are stable, so reading without
+  // blocks_mutex_ is safe once the bound check passed.
+  std::memcpy(out->raw(), blocks_[block].raw(), kPageSize);
+  return Status::OK();
+}
+
+Status DiskArray::WriteBlock(BlockId block, const Page& in) {
+  std::lock_guard<std::mutex> lock(blocks_mutex_);
+  if (block >= blocks_.size())
+    return Status::OutOfRange(StrFormat("block %u of %zu", block,
+                                        blocks_.size()));
+  std::memcpy(blocks_[block].raw(), in.raw(), kPageSize);
+  return Status::OK();
+}
+
+DiskStats DiskArray::stats(int disk) const {
+  XPRS_CHECK_GE(disk, 0);
+  XPRS_CHECK_LT(disk, num_disks_);
+  std::lock_guard<std::mutex> lock(disks_[disk]->mutex);
+  return disks_[disk]->stats;
+}
+
+DiskStats DiskArray::total_stats() const {
+  DiskStats total;
+  for (int i = 0; i < num_disks_; ++i) {
+    DiskStats s = stats(i);
+    total.reads += s.reads;
+    total.seq_reads += s.seq_reads;
+    total.almost_seq_reads += s.almost_seq_reads;
+    total.rand_reads += s.rand_reads;
+    total.busy_seconds += s.busy_seconds;
+  }
+  return total;
+}
+
+void DiskArray::FailNextReads(int count) {
+  XPRS_CHECK_GE(count, 0);
+  pending_faults_.store(count, std::memory_order_relaxed);
+}
+
+int DiskArray::pending_faults() const {
+  return pending_faults_.load(std::memory_order_relaxed);
+}
+
+void DiskArray::ResetStats() {
+  for (auto& d : disks_) {
+    std::lock_guard<std::mutex> lock(d->mutex);
+    d->stats = DiskStats{};
+    d->last_block = -1;
+  }
+}
+
+std::string DiskArray::ToString() const {
+  DiskStats t = total_stats();
+  return StrFormat(
+      "DiskArray{%d disks, %u blocks, reads=%llu (seq=%llu almost=%llu "
+      "rand=%llu), busy=%.3fs}",
+      num_disks_, num_blocks(), static_cast<unsigned long long>(t.reads),
+      static_cast<unsigned long long>(t.seq_reads),
+      static_cast<unsigned long long>(t.almost_seq_reads),
+      static_cast<unsigned long long>(t.rand_reads), t.busy_seconds);
+}
+
+}  // namespace xprs

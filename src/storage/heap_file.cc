@@ -1,0 +1,81 @@
+#include "storage/heap_file.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+HeapFile::HeapFile(std::string name, Schema schema, DiskArray* array)
+    : name_(std::move(name)), schema_(std::move(schema)), array_(array) {
+  XPRS_CHECK(array_ != nullptr);
+}
+
+uint32_t HeapFile::num_pages() const {
+  return static_cast<uint32_t>(block_map_.size()) + (tail_dirty_ ? 1 : 0);
+}
+
+Status HeapFile::Append(const Tuple& tuple) {
+  std::vector<uint8_t> bytes;
+  XPRS_RETURN_IF_ERROR(tuple.Serialize(schema_, &bytes));
+  if (bytes.size() > MaxTuplePayload()) {
+    return Status::InvalidArgument(
+        StrFormat("tuple of %zu bytes exceeds page capacity", bytes.size()));
+  }
+  auto added = tail_.AddTuple(bytes.data(), static_cast<uint16_t>(bytes.size()));
+  if (!added.ok()) {
+    // Tail is full: persist it and start a fresh page.
+    XPRS_RETURN_IF_ERROR(Flush());
+    added = tail_.AddTuple(bytes.data(), static_cast<uint16_t>(bytes.size()));
+    XPRS_CHECK(added.ok());
+  }
+  tail_dirty_ = true;
+  ++num_tuples_;
+  return Status::OK();
+}
+
+Status HeapFile::Flush() {
+  if (!tail_dirty_) return Status::OK();
+  BlockId block = array_->AllocateBlock();
+  XPRS_RETURN_IF_ERROR(array_->WriteBlock(block, tail_));
+  block_map_.push_back(block);
+  tail_.Init();
+  tail_dirty_ = false;
+  return Status::OK();
+}
+
+Status HeapFile::ReadPage(uint32_t index, Page* out) const {
+  if (index >= block_map_.size()) {
+    if (tail_dirty_ && index == block_map_.size()) {
+      return Status::FailedPrecondition("unflushed tail page; call Flush()");
+    }
+    return Status::OutOfRange(
+        StrFormat("page %u of %zu in %s", index, block_map_.size(),
+                  name_.c_str()));
+  }
+  return array_->ReadBlock(block_map_[index], out);
+}
+
+StatusOr<BlockId> HeapFile::BlockOf(uint32_t index) const {
+  if (index >= block_map_.size())
+    return Status::OutOfRange(
+        StrFormat("page %u of %zu in %s", index, block_map_.size(),
+                  name_.c_str()));
+  return block_map_[index];
+}
+
+StatusOr<Tuple> HeapFile::ReadTuple(const TupleId& tid) const {
+  Page page;
+  XPRS_RETURN_IF_ERROR(ReadPage(tid.page, &page));
+  const uint8_t* data;
+  uint16_t size;
+  XPRS_RETURN_IF_ERROR(page.GetTuple(tid.slot, &data, &size));
+  return Tuple::Deserialize(schema_, data, size);
+}
+
+double HeapFile::TuplesPerPage() const {
+  uint32_t pages = static_cast<uint32_t>(block_map_.size());
+  if (pages == 0) return 0.0;
+  return static_cast<double>(num_tuples_) / pages;
+}
+
+}  // namespace xprs

@@ -1,0 +1,68 @@
+// Heap file: a relation stored as a sequence of slotted pages striped
+// across the disk array.
+
+#ifndef XPRS_STORAGE_HEAP_FILE_H_
+#define XPRS_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/disk_array.h"
+#include "storage/page.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace xprs {
+
+/// A relation's pages. Loading is single-writer (setup phase); reads are
+/// thread-safe and go through the disk array's timing model.
+class HeapFile {
+ public:
+  HeapFile(std::string name, Schema schema, DiskArray* array);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Pages in the file.
+  uint32_t num_pages() const;
+
+  /// Tuples in the file.
+  uint64_t num_tuples() const { return num_tuples_; }
+
+  /// Appends a tuple, allocating a fresh page when the current one fills.
+  /// Call Flush() after the last Append.
+  Status Append(const Tuple& tuple);
+
+  /// Writes out the partially filled tail page, if any.
+  Status Flush();
+
+  /// Reads file-local page `index` (0-based) into *out, paying disk time.
+  Status ReadPage(uint32_t index, Page* out) const;
+
+  /// Global block id backing file-local page `index` (for buffer pools and
+  /// tuple ids that reference the file-local page number).
+  StatusOr<BlockId> BlockOf(uint32_t index) const;
+
+  /// Reads the tuple identified by `tid` (page = file-local page index).
+  /// Pays one page read per call; callers that scan should use ReadPage.
+  StatusOr<Tuple> ReadTuple(const TupleId& tid) const;
+
+  /// Average tuples per page (0 when empty).
+  double TuplesPerPage() const;
+
+ private:
+  const std::string name_;
+  const Schema schema_;
+  DiskArray* const array_;
+
+  std::vector<BlockId> block_map_;  // file page index -> global block
+  Page tail_;                       // page being filled by Append
+  bool tail_dirty_ = false;
+  uint64_t num_tuples_ = 0;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_STORAGE_HEAP_FILE_H_

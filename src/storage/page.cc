@@ -1,0 +1,54 @@
+#include "storage/page.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+void Page::Init() {
+  std::memset(bytes_, 0, kPageSize);
+  header()->num_slots = 0;
+  header()->free_end = kPageSize;
+}
+
+size_t Page::FreeSpace() const {
+  size_t used_front = sizeof(Header) + header()->num_slots * sizeof(Slot);
+  size_t free_end = header()->free_end;
+  XPRS_CHECK_LE(used_front, free_end);
+  size_t gap = free_end - used_front;
+  return gap >= sizeof(Slot) ? gap - sizeof(Slot) : 0;
+}
+
+StatusOr<uint16_t> Page::AddTuple(const uint8_t* data, uint16_t size) {
+  if (size > FreeSpace()) {
+    return Status::ResourceExhausted(
+        StrFormat("tuple of %u bytes does not fit (%zu free)", size,
+                  FreeSpace()));
+  }
+  Header* h = header();
+  uint16_t slot_index = h->num_slots;
+  h->free_end -= size;
+  std::memcpy(bytes_ + h->free_end, data, size);
+  slot_array()[slot_index] = Slot{h->free_end, size};
+  ++h->num_slots;
+  return slot_index;
+}
+
+Status Page::GetTuple(uint16_t slot, const uint8_t** data,
+                      uint16_t* size) const {
+  if (slot >= header()->num_slots) {
+    return Status::OutOfRange(
+        StrFormat("slot %u of %u", slot, header()->num_slots));
+  }
+  const Slot& s = slot_array()[slot];
+  *data = bytes_ + s.offset;
+  *size = s.size;
+  return Status::OK();
+}
+
+size_t MaxTuplePayload() {
+  Page p;
+  return p.FreeSpace();
+}
+
+}  // namespace xprs

@@ -1,0 +1,90 @@
+// Slotted 8 KB disk page, the unit of storage and of i/o.
+//
+// Layout mirrors the classic slotted-page design Postgres used:
+//
+//   [ header | slot array --> ...free... <-- tuple data ]
+//
+// The slot array grows forward from the header, tuple bytes grow backward
+// from the end of the page. XPRS pages are 8 KB (§3).
+
+#ifndef XPRS_STORAGE_PAGE_H_
+#define XPRS_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xprs {
+
+/// Page size in bytes (8 KB in XPRS, §3).
+inline constexpr size_t kPageSize = 8192;
+
+/// Identifies a tuple within a relation: page number + slot within page.
+struct TupleId {
+  uint32_t page = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const TupleId&) const = default;
+  auto operator<=>(const TupleId&) const = default;
+};
+
+/// A slotted page. POD-sized: exactly kPageSize bytes, safe to memcpy as a
+/// disk block image.
+class Page {
+ public:
+  Page() { Init(); }
+
+  /// Resets to an empty page.
+  void Init();
+
+  /// Number of tuples stored.
+  uint16_t num_tuples() const { return header()->num_slots; }
+
+  /// Free bytes remaining (accounting for the slot the next insert needs).
+  size_t FreeSpace() const;
+
+  /// Appends a tuple; fails with ResourceExhausted when it does not fit.
+  /// On success returns the slot index.
+  StatusOr<uint16_t> AddTuple(const uint8_t* data, uint16_t size);
+
+  /// Returns a pointer to the tuple bytes in `slot` and its size.
+  /// Fails with OutOfRange for an invalid slot.
+  Status GetTuple(uint16_t slot, const uint8_t** data, uint16_t* size) const;
+
+  /// Raw access for disk transfer.
+  const uint8_t* raw() const { return bytes_; }
+  uint8_t* raw() { return bytes_; }
+
+ private:
+  struct Header {
+    uint16_t num_slots;
+    uint16_t free_end;  // offset one past the end of the free region
+  };
+  struct Slot {
+    uint16_t offset;
+    uint16_t size;
+  };
+
+  Header* header() { return reinterpret_cast<Header*>(bytes_); }
+  const Header* header() const {
+    return reinterpret_cast<const Header*>(bytes_);
+  }
+  Slot* slot_array() { return reinterpret_cast<Slot*>(bytes_ + sizeof(Header)); }
+  const Slot* slot_array() const {
+    return reinterpret_cast<const Slot*>(bytes_ + sizeof(Header));
+  }
+
+  uint8_t bytes_[kPageSize];
+};
+
+static_assert(sizeof(Page) == kPageSize, "Page must be exactly one block");
+
+/// Maximum tuple payload that fits in an empty page.
+size_t MaxTuplePayload();
+
+}  // namespace xprs
+
+#endif  // XPRS_STORAGE_PAGE_H_

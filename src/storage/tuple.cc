@@ -1,0 +1,182 @@
+#include "storage/tuple.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt4:
+      return "int4";
+    case TypeId::kText:
+      return "text";
+  }
+  return "?";
+}
+
+bool IsNull(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+std::string ValueToString(const Value& v) {
+  if (IsNull(v)) return "NULL";
+  if (const int32_t* i = std::get_if<int32_t>(&v)) return std::to_string(*i);
+  return "'" + std::get<std::string>(v) + "'";
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  const bool an = IsNull(a), bn = IsNull(b);
+  if (an || bn) return static_cast<int>(bn) - static_cast<int>(an);
+  XPRS_CHECK_MSG(a.index() == b.index(), "comparing values of unequal types");
+  if (const int32_t* ai = std::get_if<int32_t>(&a)) {
+    int32_t bi = std::get<int32_t>(b);
+    return (*ai > bi) - (*ai < bi);
+  }
+  const std::string& as = std::get<std::string>(a);
+  const std::string& bs = std::get<std::string>(b);
+  int c = as.compare(bs);
+  return (c > 0) - (c < 0);
+}
+
+StatusOr<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i].name == name) return i;
+  return Status::NotFound("column " + name);
+}
+
+Schema Schema::PaperSchema() {
+  return Schema({{"a", TypeId::kInt4}, {"b", TypeId::kText}});
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols;
+  cols.reserve(left.num_columns() + right.num_columns());
+  for (size_t i = 0; i < left.num_columns(); ++i)
+    cols.push_back(left.column(i));
+  for (size_t i = 0; i < right.num_columns(); ++i)
+    cols.push_back(right.column(i));
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+bool GetU32(const uint8_t* data, uint16_t size, uint16_t* pos, uint32_t* v) {
+  if (*pos + 4 > size) return false;
+  *v = static_cast<uint32_t>(data[*pos]) |
+       static_cast<uint32_t>(data[*pos + 1]) << 8 |
+       static_cast<uint32_t>(data[*pos + 2]) << 16 |
+       static_cast<uint32_t>(data[*pos + 3]) << 24;
+  *pos += 4;
+  return true;
+}
+
+}  // namespace
+
+Status Tuple::Serialize(const Schema& schema, std::vector<uint8_t>* out) const {
+  if (values_.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("tuple has %zu values, schema %zu columns", values_.size(),
+                  schema.num_columns()));
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const Value& v = values_[i];
+    if (IsNull(v)) {
+      out->push_back(1);
+      continue;
+    }
+    out->push_back(0);
+    switch (schema.column(i).type) {
+      case TypeId::kInt4: {
+        const int32_t* iv = std::get_if<int32_t>(&v);
+        if (iv == nullptr)
+          return Status::InvalidArgument("type mismatch: expected int4");
+        PutU32(out, static_cast<uint32_t>(*iv));
+        break;
+      }
+      case TypeId::kText: {
+        const std::string* sv = std::get_if<std::string>(&v);
+        if (sv == nullptr)
+          return Status::InvalidArgument("type mismatch: expected text");
+        PutU32(out, static_cast<uint32_t>(sv->size()));
+        out->insert(out->end(), sv->begin(), sv->end());
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Tuple> Tuple::Deserialize(const Schema& schema, const uint8_t* data,
+                                   uint16_t size) {
+  std::vector<Value> values;
+  values.reserve(schema.num_columns());
+  uint16_t pos = 0;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (pos >= size) return Status::Internal("truncated tuple (null byte)");
+    bool null = data[pos++] != 0;
+    if (null) {
+      values.emplace_back(std::monostate{});
+      continue;
+    }
+    switch (schema.column(i).type) {
+      case TypeId::kInt4: {
+        uint32_t raw;
+        if (!GetU32(data, size, &pos, &raw))
+          return Status::Internal("truncated tuple (int4)");
+        values.emplace_back(static_cast<int32_t>(raw));
+        break;
+      }
+      case TypeId::kText: {
+        uint32_t len;
+        if (!GetU32(data, size, &pos, &len))
+          return Status::Internal("truncated tuple (text length)");
+        if (pos + len > size) return Status::Internal("truncated tuple (text)");
+        values.emplace_back(
+            std::string(reinterpret_cast<const char*>(data + pos), len));
+        pos += len;
+        break;
+      }
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  std::vector<Value> values = left.values_;
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += ValueToString(values_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace xprs

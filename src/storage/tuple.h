@@ -1,0 +1,101 @@
+// Schema, values and tuple (de)serialization.
+//
+// The §3 experiments use a single schema r(a int4, b text) where the text
+// attribute's width controls the tuple size and therefore the i/o rate of
+// a scan. The type system here is deliberately that small — int4 and text —
+// but complete: typed values, null support, schema-driven serialization.
+
+#ifndef XPRS_STORAGE_TUPLE_H_
+#define XPRS_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xprs {
+
+/// Column types.
+enum class TypeId : uint8_t { kInt4 = 0, kText = 1 };
+
+const char* TypeName(TypeId type);
+
+/// A single typed value; monostate represents NULL.
+using Value = std::variant<std::monostate, int32_t, std::string>;
+
+/// True if the value is NULL.
+bool IsNull(const Value& v);
+
+/// Human-readable rendering ("NULL", "42", "'abc'").
+std::string ValueToString(const Value& v);
+
+/// Three-way comparison with NULL ordered first; values must have the same
+/// type (or be NULL).
+int CompareValues(const Value& a, const Value& b);
+
+/// One column of a schema.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kInt4;
+};
+
+/// An ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the named column, or NotFound.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// The paper's benchmark schema: r(a int4, b text).
+  static Schema PaperSchema();
+
+  /// Concatenation of two schemas (join output).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A tuple: one Value per schema column.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& value(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Serializes per `schema` into `out` (appended).
+  /// Wire format per column: 1 null byte, then for int4 a 4-byte LE value,
+  /// for text a 4-byte LE length + bytes.
+  Status Serialize(const Schema& schema, std::vector<uint8_t>* out) const;
+
+  /// Parses a serialized tuple.
+  static StatusOr<Tuple> Deserialize(const Schema& schema,
+                                     const uint8_t* data, uint16_t size);
+
+  /// Join concatenation.
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_STORAGE_TUPLE_H_

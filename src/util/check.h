@@ -1,0 +1,52 @@
+// CHECK macros for invariant enforcement.
+//
+// CHECKs are active in all build types: a failed CHECK prints the condition,
+// file and line, then aborts. They guard programmer invariants; user-facing
+// failure paths return Status instead.
+
+#ifndef XPRS_UTIL_CHECK_H_
+#define XPRS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xprs::internal {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace xprs::internal
+
+#define XPRS_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::xprs::internal::CheckFailed(#cond, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define XPRS_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::xprs::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg));     \
+  } while (0)
+
+#define XPRS_CHECK_OK(expr)                                                \
+  do {                                                                     \
+    ::xprs::Status _st = (expr);                                           \
+    if (!_st.ok())                                                         \
+      ::xprs::internal::CheckFailed(#expr, __FILE__, __LINE__,             \
+                                    _st.ToString().c_str());               \
+  } while (0)
+
+#define XPRS_CHECK_GE(a, b) XPRS_CHECK((a) >= (b))
+#define XPRS_CHECK_GT(a, b) XPRS_CHECK((a) > (b))
+#define XPRS_CHECK_LE(a, b) XPRS_CHECK((a) <= (b))
+#define XPRS_CHECK_LT(a, b) XPRS_CHECK((a) < (b))
+#define XPRS_CHECK_EQ(a, b) XPRS_CHECK((a) == (b))
+#define XPRS_CHECK_NE(a, b) XPRS_CHECK((a) != (b))
+
+#endif  // XPRS_UTIL_CHECK_H_

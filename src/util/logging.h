@@ -1,0 +1,36 @@
+// Leveled logging to stderr.
+//
+// Default level is kWarn so tests and benchmarks stay quiet; examples raise
+// it to kInfo to narrate what the system is doing.
+
+#ifndef XPRS_UTIL_LOGGING_H_
+#define XPRS_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace xprs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits a log record if `level` >= the global level. Thread-safe.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+}  // namespace xprs
+
+#define XPRS_LOG(level, ...)                                              \
+  do {                                                                    \
+    if (static_cast<int>(::xprs::LogLevel::level) >=                      \
+        static_cast<int>(::xprs::GetLogLevel())) {                        \
+      ::xprs::LogMessage(::xprs::LogLevel::level, __FILE__, __LINE__,     \
+                         ::xprs::StrFormat(__VA_ARGS__));                 \
+    }                                                                     \
+  } while (0)
+
+#endif  // XPRS_UTIL_LOGGING_H_

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Every randomized component in the library takes an explicit Rng (or a
+// seed) so that experiments, tests and benchmarks are exactly reproducible.
+
+#ifndef XPRS_UTIL_RNG_H_
+#define XPRS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "util/check.h"
+
+namespace xprs {
+
+/// xoshiro256** generator. Not thread-safe; give each thread its own
+/// instance (see Fork()).
+class Rng {
+ public:
+  /// Seeds the generator. Any seed (including 0) is valid.
+  explicit Rng(uint64_t seed = 0xC0FFEE) { Seed(seed); }
+
+  /// Re-seeds the generator via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double NextDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Derives an independent child generator; advances this one.
+  Rng Fork() { return Rng(Next() ^ 0x9E3779B97F4A7C15ULL); }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void Shuffle(Container* c) {
+    XPRS_CHECK(c != nullptr);
+    auto n = c->size();
+    for (size_t i = n; i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i));
+      using std::swap;
+      swap((*c)[i - 1], (*c)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_UTIL_RNG_H_

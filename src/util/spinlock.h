@@ -1,0 +1,47 @@
+// Hardware spin lock.
+//
+// The paper's shared-memory argument (§1) rests on synchronization via
+// hardware spin locks rather than message passing; this is the primitive the
+// real-thread executor uses for its short critical sections.
+
+#ifndef XPRS_UTIL_SPINLOCK_H_
+#define XPRS_UTIL_SPINLOCK_H_
+
+#include <atomic>
+
+namespace xprs {
+
+/// Test-and-test-and-set spin lock. Satisfies the C++ Lockable requirements
+/// so it can be used with std::lock_guard / std::unique_lock.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Spin on a plain load to avoid cache-line ping-pong.
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_UTIL_SPINLOCK_H_

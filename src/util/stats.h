@@ -1,0 +1,61 @@
+// Running statistics and fixed-width text tables for experiment output.
+
+#ifndef XPRS_UTIL_STATS_H_
+#define XPRS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xprs {
+
+/// Welford-style online mean/variance/min/max accumulator.
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Accumulates samples and reports percentiles (exact, by sorting).
+class Percentiles {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  size_t count() const { return samples_.size(); }
+  /// p in [0,100]. Returns 0 when empty.
+  double Get(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+/// Simple fixed-width text table used by the benchmark harnesses to print
+/// the paper's tables/figures as aligned rows.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with a header rule, columns padded to the widest cell.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_UTIL_STATS_H_

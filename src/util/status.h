@@ -1,0 +1,163 @@
+// Status / StatusOr: error-handling primitives used throughout the library.
+//
+// Library code does not throw exceptions (per the project style); fallible
+// operations return Status or StatusOr<T>. Invariant violations use the
+// CHECK macros in util/check.h.
+
+#ifndef XPRS_UTIL_STATUS_H_
+#define XPRS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xprs {
+
+/// Error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+  kAborted,
+  kIoError,
+};
+
+/// Returns a human-readable name for a StatusCode ("Ok", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail: a code plus an optional message.
+///
+/// Statuses are cheap to copy in the OK case (no allocation). Use the
+/// factory functions (Status::OK(), Status::InvalidArgument(...), ...) to
+/// construct them.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A Status or a value of type T. Exactly one is present.
+///
+/// Typical use:
+///   StatusOr<Plan> plan = Optimize(query);
+///   if (!plan.ok()) return plan.status();
+///   Use(plan.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Must not be called with OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace xprs
+
+/// Propagates a non-OK Status from the current function.
+#define XPRS_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::xprs::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define XPRS_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto XPRS_CONCAT_(_sor_, __LINE__) = (expr);  \
+  if (!XPRS_CONCAT_(_sor_, __LINE__).ok())      \
+    return XPRS_CONCAT_(_sor_, __LINE__).status(); \
+  lhs = std::move(XPRS_CONCAT_(_sor_, __LINE__)).value()
+
+#define XPRS_CONCAT_INNER_(a, b) a##b
+#define XPRS_CONCAT_(a, b) XPRS_CONCAT_INNER_(a, b)
+
+#endif  // XPRS_UTIL_STATUS_H_

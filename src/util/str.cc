@@ -1,0 +1,43 @@
+#include "util/str.h"
+
+#include <cstdio>
+
+namespace xprs {
+
+std::string StrFormatV(const char* fmt, va_list ap) {
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::string out = StrFormatV(fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+std::vector<std::string> StrSplit(const std::string& s, char delim) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+}  // namespace xprs

@@ -1,0 +1,49 @@
+// Small string utilities: printf-style formatting, concatenation, joining.
+//
+// GCC 12's libstdc++ does not ship std::format, so the library carries a
+// minimal snprintf-backed StrFormat.
+
+#ifndef XPRS_UTIL_STR_H_
+#define XPRS_UTIL_STR_H_
+
+#include <cstdarg>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace xprs {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of StrFormat.
+std::string StrFormatV(const char* fmt, va_list ap);
+
+/// Streams all arguments into a string (uses operator<<).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// Joins elements with a separator using operator<<.
+template <typename Container>
+std::string StrJoin(const Container& items, const std::string& sep) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) oss << sep;
+    first = false;
+    oss << item;
+  }
+  return oss.str();
+}
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char delim);
+
+}  // namespace xprs
+
+#endif  // XPRS_UTIL_STR_H_

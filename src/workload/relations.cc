@@ -1,0 +1,115 @@
+#include "workload/relations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/executor.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+namespace {
+
+// Serialized size of a paper-schema tuple with a text payload of `width`
+// bytes: null byte + 4 (int4) + null byte + 4 (length) + width.
+constexpr int kTupleMetaBytes = 10;
+// Slot array entry per tuple.
+constexpr int kSlotBytes = 4;
+
+}  // namespace
+
+StatusOr<Table*> BuildRelation(Catalog* catalog, const std::string& name,
+                               uint64_t num_tuples, int text_width,
+                               int32_t key_range, Rng* rng) {
+  XPRS_CHECK(catalog != nullptr);
+  XPRS_CHECK(rng != nullptr);
+  XPRS_CHECK_GE(text_width, -1);  // -1 = NULL text
+  XPRS_CHECK_GE(key_range, 1);
+  XPRS_ASSIGN_OR_RETURN(Table * table,
+                        catalog->CreateTable(name, Schema::PaperSchema()));
+  for (uint64_t i = 0; i < num_tuples; ++i) {
+    int32_t key = static_cast<int32_t>(rng->NextUint64(key_range));
+    Value text = text_width < 0
+                     ? Value(std::monostate{})
+                     : Value(std::string(static_cast<size_t>(text_width), 'b'));
+    XPRS_RETURN_IF_ERROR(
+        table->file().Append(Tuple({Value(key), std::move(text)})));
+  }
+  XPRS_RETURN_IF_ERROR(table->file().Flush());
+  XPRS_RETURN_IF_ERROR(table->BuildIndex(0));
+  XPRS_RETURN_IF_ERROR(table->ComputeStats());
+  return table;
+}
+
+StatusOr<Table*> BuildRMin(Catalog* catalog, uint64_t num_tuples, Rng* rng) {
+  return BuildRelation(catalog, "r_min", num_tuples, /*text_width=*/-1,
+                       /*key_range=*/10000, rng);
+}
+
+StatusOr<Table*> BuildRMax(Catalog* catalog, uint64_t num_tuples, Rng* rng) {
+  // One tuple per 8 KB page: fill past half the payload so a second tuple
+  // can never fit.
+  int width = static_cast<int>(MaxTuplePayload()) - kTupleMetaBytes;
+  return BuildRelation(catalog, "r_max", num_tuples, width,
+                       /*key_range=*/10000, rng);
+}
+
+int TextWidthForIoRate(double io_rate) {
+  io_rate = std::clamp(io_rate, 5.0, 70.0);
+  // 1/C = 1/97 + overhead + tpp * tuple_cpu  ->  tuples per page
+  double tpp = (1.0 / io_rate - 1.0 / 97.0 - kPageCpuOverhead) / kTupleCpu;
+  tpp = std::max(tpp, 1.0);
+  // tpp tuples of (width + meta + slot) bytes fill one page.
+  double per_tuple = static_cast<double>(MaxTuplePayload()) / tpp;
+  int width = static_cast<int>(per_tuple) - kTupleMetaBytes - kSlotBytes;
+  return std::clamp(width, 0,
+                    static_cast<int>(MaxTuplePayload()) - kTupleMetaBytes);
+}
+
+StatusOr<MeasuredProfile> MeasureSeqScan(Table* table) {
+  XPRS_CHECK(table != nullptr);
+  // Execute a real pass over the data, then apply the single-process
+  // timing model: a striped sequential scan is all-sequential service.
+  ExecContext ctx;
+  SeqScanOp scan(table, Predicate(), ctx);
+  auto rows = Drain(&scan);
+  if (!rows.ok()) return rows.status();
+
+  MeasuredProfile m;
+  m.ios = static_cast<double>(scan.pages_read());
+  m.tuples = rows->size();
+  m.seq_time = m.ios * (1.0 / 97.0 + kPageCpuOverhead) +
+               static_cast<double>(m.tuples) * kTupleCpu;
+  return m;
+}
+
+StatusOr<MeasuredProfile> MeasureIndexScan(Table* table, KeyRange range) {
+  XPRS_CHECK(table != nullptr);
+  if (table->index() == nullptr)
+    return Status::FailedPrecondition("no index on " + table->name());
+  ExecContext ctx;
+  IndexScanOp scan(table, Predicate(), range, ctx);
+  auto rows = Drain(&scan);
+  if (!rows.ok()) return rows.status();
+  MeasuredProfile m;
+  m.tuples = rows->size();
+  // One random page fetch per entry.
+  m.ios = static_cast<double>(scan.tuples_fetched());
+  m.seq_time = m.ios * (1.0 / 35.0) + m.tuples * kTupleCpu;
+  return m;
+}
+
+TaskProfile ToTaskProfile(const MeasuredProfile& m, TaskId id,
+                          const std::string& name, IoPattern pattern) {
+  TaskProfile t;
+  t.id = id;
+  t.name = name;
+  t.seq_time = std::max(m.seq_time, 1e-9);
+  t.total_ios = m.ios;
+  t.pattern = pattern;
+  t.query_id = id;
+  return t;
+}
+
+}  // namespace xprs

@@ -1,0 +1,71 @@
+// Physical §3 workload construction: relations r(a int4, b text) whose
+// tuple width controls the i/o rate of a sequential scan, including the
+// calibration relations r_min (b = NULL, most CPU-bound, ~5 io/s) and
+// r_max (one 8 KB tuple per page, most IO-bound, ~70 io/s) — plus a scan
+// meter that measures a task's (T, D, C) the way the paper did.
+//
+// Timing model of a *sequential* (single-process) scan:
+//   per page:  raw disk service + kPageCpuOverhead + tuples * kTupleCpu
+// with raw service from the disk array's accounting (sequential 1/97 s,
+// random 1/35 s). The two §3 calibration points pin the constants:
+//   r_max:  1/97 + overhead + 1 * tuple_cpu   = 1/70   (70 io/s)
+//   r_min:  1/97 + overhead + 400 * tuple_cpu = 1/5    (5 io/s)
+
+#ifndef XPRS_WORKLOAD_RELATIONS_H_
+#define XPRS_WORKLOAD_RELATIONS_H_
+
+#include <string>
+
+#include "exec/plan.h"
+#include "sched/task.h"
+#include "storage/catalog.h"
+#include "util/rng.h"
+
+namespace xprs {
+
+/// Per-page CPU overhead of a scan (seconds); see header comment.
+inline constexpr double kPageCpuOverhead = 0.0138138 - 1.0 / 97.0;
+/// Per-tuple qualification cost (seconds).
+inline constexpr double kTupleCpu = 0.00046548;
+
+/// Builds a relation named `name` with `num_tuples` tuples of the paper
+/// schema; keys drawn uniformly from [0, key_range); the text column is
+/// `text_width` bytes. Builds the unclustered index on a and computes
+/// stats.
+StatusOr<Table*> BuildRelation(Catalog* catalog, const std::string& name,
+                               uint64_t num_tuples, int text_width,
+                               int32_t key_range, Rng* rng);
+
+/// r_min: b NULL everywhere -> hundreds of tuples per page (§3).
+StatusOr<Table*> BuildRMin(Catalog* catalog, uint64_t num_tuples, Rng* rng);
+
+/// r_max: text sized so exactly one tuple fits a page (§3).
+StatusOr<Table*> BuildRMax(Catalog* catalog, uint64_t num_tuples, Rng* rng);
+
+/// Text width whose sequential scan runs at approximately `io_rate` io/s
+/// under the timing model (clamped to the feasible [5, 70] band).
+int TextWidthForIoRate(double io_rate);
+
+/// Outcome of metering one task.
+struct MeasuredProfile {
+  double seq_time = 0.0;  ///< modeled single-process elapsed (T)
+  double ios = 0.0;       ///< page reads issued (D)
+  uint64_t tuples = 0;    ///< tuples processed
+  double io_rate() const { return seq_time > 0 ? ios / seq_time : 0.0; }
+};
+
+/// Executes a full sequential scan of `table` and reports its measured
+/// profile. The disk array must be in kInstant mode (stats are read from
+/// its accounting); its stats are reset as a side effect.
+StatusOr<MeasuredProfile> MeasureSeqScan(Table* table);
+
+/// Same for an unclustered index scan over `range`.
+StatusOr<MeasuredProfile> MeasureIndexScan(Table* table, KeyRange range);
+
+/// Converts a measured profile into a scheduler TaskProfile.
+TaskProfile ToTaskProfile(const MeasuredProfile& m, TaskId id,
+                          const std::string& name, IoPattern pattern);
+
+}  // namespace xprs
+
+#endif  // XPRS_WORKLOAD_RELATIONS_H_

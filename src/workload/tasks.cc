@@ -1,0 +1,104 @@
+#include "workload/tasks.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace xprs {
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kAllIoBound:
+      return "All IO";
+    case WorkloadKind::kAllCpuBound:
+      return "All CPU";
+    case WorkloadKind::kExtremeMix:
+      return "Extreme";
+    case WorkloadKind::kRandomMix:
+      return "Random";
+  }
+  return "?";
+}
+
+namespace {
+
+TaskProfile MakeTask(TaskId id, double rate, double seq_time,
+                     IoPattern pattern) {
+  TaskProfile t;
+  t.id = id;
+  t.name = StrFormat("t%lld(%.0fio/s,%s)", static_cast<long long>(id), rate,
+                     pattern == IoPattern::kSequential ? "seq" : "rand");
+  t.seq_time = seq_time;
+  t.total_ios = rate * seq_time;
+  t.pattern = pattern;
+  t.query_id = id;
+  return t;
+}
+
+}  // namespace
+
+std::vector<TaskProfile> MakeWorkload(WorkloadKind kind,
+                                      const WorkloadOptions& options,
+                                      Rng* rng, TaskId id_base) {
+  XPRS_CHECK(rng != nullptr);
+  XPRS_CHECK_GT(options.num_tasks, 0);
+  XPRS_CHECK_GT(options.min_seq_time, 0.0);
+  XPRS_CHECK_LE(options.min_seq_time, options.max_seq_time);
+
+  std::vector<TaskProfile> tasks;
+  tasks.reserve(options.num_tasks);
+  for (int i = 0; i < options.num_tasks; ++i) {
+    double rate = 0.0;
+    bool io_bound = false;
+    switch (kind) {
+      case WorkloadKind::kAllIoBound:
+        rate = rng->NextDouble(options.io_lo, options.io_hi);
+        io_bound = true;
+        break;
+      case WorkloadKind::kAllCpuBound:
+        rate = rng->NextDouble(options.cpu_lo, options.cpu_hi);
+        break;
+      case WorkloadKind::kExtremeMix:
+        // Alternate so the split is exactly half/half.
+        if (i % 2 == 0) {
+          rate = rng->NextDouble(options.xio_lo, options.xio_hi);
+          io_bound = true;
+        } else {
+          rate = rng->NextDouble(options.xcpu_lo, options.xcpu_hi);
+        }
+        break;
+      case WorkloadKind::kRandomMix:
+        rate = rng->NextDouble(options.cpu_lo, options.xio_hi);
+        io_bound = rate > options.cpu_hi;
+        break;
+    }
+    double seq_time =
+        rng->NextDouble() * (options.max_seq_time - options.min_seq_time) +
+        options.min_seq_time;
+    IoPattern pattern = IoPattern::kSequential;
+    if (io_bound && rng->NextBool(options.index_scan_fraction))
+      pattern = IoPattern::kRandom;
+    tasks.push_back(MakeTask(id_base + i, rate, seq_time, pattern));
+  }
+  return tasks;
+}
+
+std::vector<TaskProfile> MakeArrivalSequence(WorkloadKind kind,
+                                             const WorkloadOptions& options,
+                                             double mean_interarrival,
+                                             Rng* rng, TaskId id_base) {
+  XPRS_CHECK_GT(mean_interarrival, 0.0);
+  std::vector<TaskProfile> tasks =
+      MakeWorkload(kind, options, rng, id_base);
+  double t = 0.0;
+  for (auto& task : tasks) {
+    task.arrival_time = t;
+    // Exponential inter-arrival gaps.
+    double u = rng->NextDouble();
+    t += -std::log(1.0 - u) * mean_interarrival;
+  }
+  return tasks;
+}
+
+}  // namespace xprs

@@ -1,0 +1,250 @@
+// Tests for IO/CPU classification, maximum parallelism, effective
+// bandwidth, and the IO-CPU balance point solver (paper §2.2-2.3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/balance.h"
+#include "sched/machine.h"
+#include "sched/task.h"
+
+namespace xprs {
+namespace {
+
+TaskProfile Task(double rate, double seq_time = 10.0,
+                 IoPattern pattern = IoPattern::kSequential) {
+  static TaskId next_id = 1000;
+  TaskProfile t;
+  t.id = next_id++;
+  t.seq_time = seq_time;
+  t.total_ios = rate * seq_time;
+  t.pattern = pattern;
+  return t;
+}
+
+TEST(MachineTest, PaperConfigNumbers) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  EXPECT_EQ(m.num_cpus, 8);
+  EXPECT_EQ(m.num_disks, 4);
+  EXPECT_DOUBLE_EQ(m.seq_bandwidth(), 388.0);
+  EXPECT_DOUBLE_EQ(m.almost_seq_bandwidth(), 240.0);
+  EXPECT_DOUBLE_EQ(m.rand_bandwidth(), 140.0);
+  EXPECT_DOUBLE_EQ(m.nominal_bandwidth(), 240.0);
+  EXPECT_DOUBLE_EQ(m.io_cpu_threshold(), 30.0);
+}
+
+TEST(ClassificationTest, ThresholdIsBOverN) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  EXPECT_FALSE(IsIoBound(Task(5.0), m));     // r_min
+  EXPECT_FALSE(IsIoBound(Task(29.9), m));
+  EXPECT_FALSE(IsIoBound(Task(30.0), m));    // boundary is CPU-bound
+  EXPECT_TRUE(IsIoBound(Task(30.1), m));
+  EXPECT_TRUE(IsIoBound(Task(70.0), m));     // r_max
+}
+
+TEST(MaxParallelismTest, CpuBoundGetsAllProcessors) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  EXPECT_DOUBLE_EQ(MaxParallelism(Task(5.0), m), 8.0);
+  EXPECT_DOUBLE_EQ(MaxParallelism(Task(0.0), m), 8.0);
+}
+
+TEST(MaxParallelismTest, IoBoundLimitedByBandwidth) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // Sequential stream: B = 240 once parallel; 240/60 = 4.
+  EXPECT_DOUBLE_EQ(MaxParallelism(Task(60.0), m), 4.0);
+  // Random stream: B = 140; 140/70 = 2.
+  EXPECT_DOUBLE_EQ(MaxParallelism(Task(70.0, 10.0, IoPattern::kRandom), m),
+                   2.0);
+}
+
+TEST(MaxParallelismTest, NeverBelowOneOrAboveN) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  EXPECT_DOUBLE_EQ(MaxParallelism(Task(500.0), m), 1.0);
+  EXPECT_DOUBLE_EQ(MaxParallelism(Task(31.0), m), 240.0 / 31.0);
+}
+
+TEST(EffectiveBandwidthTest, SingleSequentialSingleProcessIsStrict) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  EXPECT_DOUBLE_EQ(EffectiveBandwidth(m, {{50.0, IoPattern::kSequential, 1.0}}),
+                   388.0);
+}
+
+TEST(EffectiveBandwidthTest, SingleParallelSequentialIsAlmostSeq) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  EXPECT_DOUBLE_EQ(EffectiveBandwidth(m, {{50.0, IoPattern::kSequential, 4.0}}),
+                   240.0);
+}
+
+TEST(EffectiveBandwidthTest, SingleRandomIsRandom) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  EXPECT_DOUBLE_EQ(EffectiveBandwidth(m, {{50.0, IoPattern::kRandom, 4.0}}),
+                   140.0);
+}
+
+TEST(EffectiveBandwidthTest, EvenSequentialSplitDropsToRandom) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // Equal streams: the disks seek between the two -> random bandwidth.
+  EXPECT_DOUBLE_EQ(
+      EffectiveBandwidth(m, {{100.0, IoPattern::kSequential, 2.0},
+                             {100.0, IoPattern::kSequential, 2.0}}),
+      140.0);
+}
+
+TEST(EffectiveBandwidthTest, MatchesPaperPairEquation) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // Paper: B = Br + (1 - u/v)(Bs - Br) for u < v, capped at the almost-seq
+  // ceiling for concurrent parallel streams.
+  const double br = 140.0, bs = 388.0, cap = 240.0;
+  for (double u : {10.0, 40.0, 90.0}) {
+    const double v = 100.0;
+    double expected = std::min(cap, br + (1.0 - u / v) * (bs - br));
+    EXPECT_NEAR(EffectiveBandwidth(m, {{u, IoPattern::kSequential, 2.0},
+                                       {v, IoPattern::kSequential, 3.0}}),
+                expected, 1e-9)
+        << "u=" << u;
+  }
+}
+
+TEST(EffectiveBandwidthTest, RandomDominantForcesRandom) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  EXPECT_DOUBLE_EQ(
+      EffectiveBandwidth(m, {{20.0, IoPattern::kSequential, 2.0},
+                             {120.0, IoPattern::kRandom, 3.0}}),
+      140.0);
+}
+
+TEST(EffectiveBandwidthTest, SequentialDominantRecoversBandwidth) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // Moderately dominant sequential stream: above random, below the cap.
+  double b = EffectiveBandwidth(m, {{120.0, IoPattern::kSequential, 4.0},
+                                    {80.0, IoPattern::kRandom, 1.0}});
+  EXPECT_GT(b, 140.0);
+  EXPECT_LT(b, 240.0);
+  // Strongly dominant sequential stream: hits the almost-sequential cap.
+  EXPECT_DOUBLE_EQ(
+      EffectiveBandwidth(m, {{200.0, IoPattern::kSequential, 4.0},
+                             {20.0, IoPattern::kRandom, 1.0}}),
+      240.0);
+}
+
+TEST(EffectiveBandwidthTest, NoDemandReturnsSequentialCeiling) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  EXPECT_DOUBLE_EQ(EffectiveBandwidth(m, {}), 388.0);
+}
+
+TEST(BalanceConstantBTest, PaperClosedForm) {
+  // N=8, B=240: ci=60, cj=10 -> xi=(240-80)/50=3.2, xj=(480-240)/50=4.8.
+  BalancePoint bp = SolveBalanceConstantB(60.0, 10.0, 8, 240.0);
+  ASSERT_TRUE(bp.valid);
+  EXPECT_TRUE(bp.exact);
+  EXPECT_NEAR(bp.xi, 3.2, 1e-9);
+  EXPECT_NEAR(bp.xj, 4.8, 1e-9);
+  EXPECT_NEAR(bp.xi + bp.xj, 8.0, 1e-9);
+  EXPECT_NEAR(60.0 * bp.xi + 10.0 * bp.xj, 240.0, 1e-9);
+}
+
+TEST(BalanceConstantBTest, SwappedArgumentsMapBack) {
+  BalancePoint bp = SolveBalanceConstantB(10.0, 60.0, 8, 240.0);
+  ASSERT_TRUE(bp.valid);
+  EXPECT_NEAR(bp.xi, 4.8, 1e-9);  // xi belongs to the 10 io/s task
+  EXPECT_NEAR(bp.xj, 3.2, 1e-9);
+}
+
+TEST(BalanceConstantBTest, BothIoBoundInvalid) {
+  EXPECT_FALSE(SolveBalanceConstantB(60.0, 40.0, 8, 240.0).valid);
+}
+
+TEST(BalanceConstantBTest, BothCpuBoundInvalid) {
+  EXPECT_FALSE(SolveBalanceConstantB(20.0, 10.0, 8, 240.0).valid);
+}
+
+TEST(BalanceConstantBTest, EqualRatesInvalid) {
+  EXPECT_FALSE(SolveBalanceConstantB(30.0, 30.0, 8, 240.0).valid);
+}
+
+// Property sweep: for every (C_io, C_cpu) pair straddling the threshold the
+// constant-B balance point satisfies both equations with positive degrees.
+class BalanceSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BalanceSweepTest, SatisfiesBothEquations) {
+  auto [ci, cj] = GetParam();
+  MachineConfig m = MachineConfig::PaperConfig();
+  BalancePoint bp =
+      SolveBalanceConstantB(ci, cj, m.num_cpus, m.nominal_bandwidth());
+  ASSERT_TRUE(bp.valid) << "ci=" << ci << " cj=" << cj;
+  EXPECT_GT(bp.xi, 0.0);
+  EXPECT_GT(bp.xj, 0.0);
+  EXPECT_NEAR(bp.xi + bp.xj, 8.0, 1e-9);
+  EXPECT_NEAR(ci * bp.xi + cj * bp.xj, 240.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateGrid, BalanceSweepTest,
+    ::testing::Combine(::testing::Values(31.0, 35.0, 45.0, 60.0, 70.0),
+                       ::testing::Values(5.0, 10.0, 15.0, 25.0, 29.0)));
+
+// Coupled solver: the returned point must satisfy the coupled equations
+// with the *effective* bandwidth.
+class CoupledBalanceTest
+    : public ::testing::TestWithParam<std::tuple<double, double, int, int>> {};
+
+TEST_P(CoupledBalanceTest, RootSatisfiesCoupledEquations) {
+  auto [ci, cj, pi_int, pj_int] = GetParam();
+  MachineConfig m = MachineConfig::PaperConfig();
+  TaskProfile ti = Task(ci, 10.0, static_cast<IoPattern>(pi_int));
+  TaskProfile tj = Task(cj, 10.0, static_cast<IoPattern>(pj_int));
+  BalancePoint bp = SolveBalance(ti, tj, m, /*model_seek_interference=*/true);
+  if (!bp.valid || !bp.exact) return;  // fallback cases checked elsewhere
+  EXPECT_NEAR(bp.xi + bp.xj, 8.0, 1e-6);
+  std::vector<IoStream> streams = {{ci * bp.xi, ti.pattern, bp.xi},
+                                   {cj * bp.xj, tj.pattern, bp.xj}};
+  double beff = EffectiveBandwidth(m, streams);
+  EXPECT_NEAR(ci * bp.xi + cj * bp.xj, beff, 1e-5);
+  EXPECT_NEAR(bp.effective_bandwidth, beff, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternGrid, CoupledBalanceTest,
+    ::testing::Combine(::testing::Values(35.0, 50.0, 65.0),
+                       ::testing::Values(5.0, 12.0, 25.0),
+                       ::testing::Values(0, 1),    // IoPattern of task i
+                       ::testing::Values(0, 1)));  // IoPattern of task j
+
+TEST(CoupledBalanceTest, BothRandomUsesRandomBandwidthClosedForm) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TaskProfile ti = Task(60.0, 10.0, IoPattern::kRandom);
+  TaskProfile tj = Task(10.0, 10.0, IoPattern::kRandom);
+  BalancePoint bp = SolveBalance(ti, tj, m);
+  ASSERT_TRUE(bp.valid);
+  // B = Br = 140: xi = (140-80)/50 = 1.2, xj = 6.8.
+  EXPECT_NEAR(bp.xi, 1.2, 1e-9);
+  EXPECT_NEAR(bp.xj, 6.8, 1e-9);
+  EXPECT_DOUBLE_EQ(bp.effective_bandwidth, 140.0);
+}
+
+TEST(CoupledBalanceTest, SeekInterferenceLowersEffectiveBandwidth) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TaskProfile ti = Task(65.0, 10.0, IoPattern::kSequential);
+  TaskProfile tj = Task(10.0, 10.0, IoPattern::kSequential);
+  BalancePoint with = SolveBalance(ti, tj, m, true);
+  BalancePoint without = SolveBalance(ti, tj, m, false);
+  ASSERT_TRUE(with.valid);
+  ASSERT_TRUE(without.valid);
+  // Two concurrent sequential streams cannot do better than nominal.
+  EXPECT_LE(with.effective_bandwidth, without.effective_bandwidth + 1e-9);
+}
+
+TEST(CoupledBalanceTest, WithoutInterferenceMatchesClosedForm) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TaskProfile ti = Task(60.0);
+  TaskProfile tj = Task(10.0);
+  BalancePoint bp = SolveBalance(ti, tj, m, false);
+  ASSERT_TRUE(bp.valid);
+  EXPECT_NEAR(bp.xi, 3.2, 1e-9);
+  EXPECT_NEAR(bp.xj, 4.8, 1e-9);
+}
+
+}  // namespace
+}  // namespace xprs

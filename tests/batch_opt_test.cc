@@ -1,0 +1,130 @@
+// Tests for the §5 future-work extension: joint (batch) optimization of
+// multiple queries against the combined schedule makespan.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "opt/two_phase.h"
+#include "util/str.h"
+#include "workload/relations.h"
+
+namespace xprs {
+namespace {
+
+class BatchOptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    array_ = std::make_unique<DiskArray>(4, DiskMode::kInstant);
+    catalog_ = std::make_unique<Catalog>(array_.get());
+    Rng rng(21);
+    fat_ = BuildRelation(catalog_.get(), "fat", 800,
+                         TextWidthForIoRate(62), 300, &rng)
+               .value();
+    thin_ = BuildRelation(catalog_.get(), "thin", 3000,
+                          TextWidthForIoRate(8), 300, &rng)
+                .value();
+    mid_ = BuildRelation(catalog_.get(), "mid", 600,
+                         TextWidthForIoRate(35), 300, &rng)
+               .value();
+  }
+
+  QuerySpec Join(Table* a, Table* b) {
+    QuerySpec q;
+    q.relations = {{a, Predicate()}, {b, Predicate()}};
+    q.joins = {{0, 0, 1, 0}};
+    return q;
+  }
+
+  std::unique_ptr<DiskArray> array_;
+  std::unique_ptr<Catalog> catalog_;
+  Table* fat_ = nullptr;
+  Table* thin_ = nullptr;
+  Table* mid_ = nullptr;
+  CostModel model_;
+};
+
+TEST_F(BatchOptTest, BatchCostMatchesSingleQueryParCost) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TwoPhaseOptimizer opt(m, &model_);
+  auto q = opt.Optimize(Join(fat_, thin_), TreeShape::kBushy);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(opt.BatchCost({q->plan.get()}), q->parcost, 1e-9);
+}
+
+TEST_F(BatchOptTest, BatchOfTwoAtLeastAsLongAsEither) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TwoPhaseOptimizer opt(m, &model_);
+  auto q1 = opt.Optimize(Join(fat_, thin_), TreeShape::kBushy);
+  auto q2 = opt.Optimize(Join(mid_, thin_), TreeShape::kBushy);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  double combined = opt.BatchCost({q1->plan.get(), q2->plan.get()});
+  EXPECT_GE(combined + 1e-9, q1->parcost);
+  EXPECT_GE(combined + 1e-9, q2->parcost);
+  // And at most the serial sum (the schedule overlaps work).
+  EXPECT_LE(combined, q1->parcost + q2->parcost + 1e-9);
+}
+
+TEST_F(BatchOptTest, JointChoiceNeverWorseThanIndependentSeqcostChoice) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TwoPhaseOptimizer opt(m, &model_);
+  std::vector<QuerySpec> batch = {Join(fat_, thin_), Join(mid_, thin_),
+                                  Join(fat_, mid_)};
+
+  double joint_makespan = 0.0;
+  auto joint = opt.OptimizeBatch(batch, &joint_makespan);
+  ASSERT_TRUE(joint.ok());
+  ASSERT_EQ(joint->size(), 3u);
+
+  // Independent baseline: best-seqcost plan per query.
+  JoinEnumerator enumerator(&model_);
+  std::vector<std::unique_ptr<PlanNode>> indep;
+  for (const auto& q : batch) {
+    auto best = enumerator.BestPlan(q, TreeShape::kBushy);
+    ASSERT_TRUE(best.ok());
+    indep.push_back(std::move(best->plan));
+  }
+  std::vector<const PlanNode*> indep_ptrs;
+  for (const auto& p : indep) indep_ptrs.push_back(p.get());
+  double indep_makespan = opt.BatchCost(indep_ptrs);
+
+  // Coordinate descent starts from exactly that baseline, so it can only
+  // improve or match.
+  EXPECT_LE(joint_makespan, indep_makespan + 1e-9);
+  EXPECT_GT(joint_makespan, 0.0);
+}
+
+TEST_F(BatchOptTest, BatchPlansExecuteCorrectly) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TwoPhaseOptimizer opt(m, &model_);
+  std::vector<QuerySpec> batch = {Join(fat_, thin_), Join(mid_, thin_)};
+  double makespan = 0.0;
+  auto joint = opt.OptimizeBatch(batch, &makespan);
+  ASSERT_TRUE(joint.ok());
+
+  ExecContext ctx;
+  for (size_t i = 0; i < joint->size(); ++i) {
+    auto rows = ExecutePlanSequential(*(*joint)[i].plan, ctx);
+    ASSERT_TRUE(rows.ok());
+    // Reference: nestloop on the same relations.
+    auto ref_plan = MakeNestLoopJoin(
+        MakeSeqScan(batch[i].relations[0].table, Predicate()),
+        MakeSeqScan(batch[i].relations[1].table, Predicate()), 0, 0);
+    auto ref = ExecutePlanSequential(*ref_plan, ctx);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(rows->size(), ref->size()) << "query " << i;
+  }
+}
+
+TEST_F(BatchOptTest, SingleQueryBatchMatchesStandalone) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TwoPhaseOptimizer opt(m, &model_);
+  double makespan = 0.0;
+  auto joint = opt.OptimizeBatch({Join(fat_, thin_)}, &makespan);
+  ASSERT_TRUE(joint.ok());
+  ASSERT_EQ(joint->size(), 1u);
+  EXPECT_NEAR(makespan, opt.BatchCost({(*joint)[0].plan.get()}), 1e-9);
+}
+
+}  // namespace
+}  // namespace xprs

@@ -1,0 +1,227 @@
+// Tests for the B+tree index, including parameterized property sweeps over
+// structural invariants and the balanced range partitions of §2.4.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "storage/btree.h"
+#include "util/rng.h"
+
+namespace xprs {
+namespace {
+
+TupleId Tid(uint32_t page, uint16_t slot = 0) { return TupleId{page, slot}; }
+
+TEST(BTreeTest, EmptyTree) {
+  BTreeIndex tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Lookup(5).empty());
+  EXPECT_FALSE(tree.MinKey().ok());
+  EXPECT_TRUE(tree.BalancedRanges(4).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTreeIndex tree;
+  tree.Insert(10, Tid(1));
+  tree.Insert(20, Tid(2));
+  tree.Insert(10, Tid(3));
+  EXPECT_EQ(tree.size(), 3u);
+  auto hits = tree.Lookup(10);
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_EQ(tree.Lookup(20).size(), 1u);
+  EXPECT_TRUE(tree.Lookup(15).empty());
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTreeIndex tree(/*fanout=*/4);
+  for (int i = 0; i < 100; ++i) tree.Insert(i, Tid(i));
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (int i = 0; i < 100; ++i) {
+    auto hits = tree.Lookup(i);
+    ASSERT_EQ(hits.size(), 1u) << "key " << i;
+    EXPECT_EQ(hits[0].page, static_cast<uint32_t>(i));
+  }
+}
+
+TEST(BTreeTest, ScanRangeInclusive) {
+  BTreeIndex tree(/*fanout=*/4);
+  for (int i = 0; i < 50; ++i) tree.Insert(i * 2, Tid(i));
+  std::vector<int32_t> keys;
+  for (auto it = tree.Scan(10, 20); it.Valid(); it.Next())
+    keys.push_back(it.key());
+  EXPECT_EQ(keys, (std::vector<int32_t>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST(BTreeTest, ScanBeyondMaxIsEmpty) {
+  BTreeIndex tree;
+  tree.Insert(1, Tid(1));
+  EXPECT_FALSE(tree.Scan(100, 200).Valid());
+}
+
+TEST(BTreeTest, ScanAllReturnsSortedKeys) {
+  BTreeIndex tree(/*fanout=*/8);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i)
+    tree.Insert(static_cast<int32_t>(rng.NextInt(-5000, 5000)), Tid(i));
+  int32_t prev = INT32_MIN;
+  size_t count = 0;
+  for (auto it = tree.Scan(INT32_MIN, INT32_MAX); it.Valid(); it.Next()) {
+    EXPECT_GE(it.key(), prev);
+    prev = it.key();
+    ++count;
+  }
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST(BTreeTest, MinMaxKeys) {
+  BTreeIndex tree(/*fanout=*/4);
+  for (int i = 0; i < 64; ++i) tree.Insert(i * 7 - 100, Tid(i));
+  EXPECT_EQ(tree.MinKey().value(), -100);
+  EXPECT_EQ(tree.MaxKey().value(), 63 * 7 - 100);
+}
+
+TEST(BTreeTest, HeavyDuplicatesStillFound) {
+  BTreeIndex tree(/*fanout=*/4);
+  for (int i = 0; i < 200; ++i) tree.Insert(42, Tid(i));
+  for (int i = 0; i < 50; ++i) {
+    tree.Insert(10, Tid(1000 + i));
+    tree.Insert(90, Tid(2000 + i));
+  }
+  EXPECT_EQ(tree.Lookup(42).size(), 200u);
+  EXPECT_EQ(tree.Lookup(10).size(), 50u);
+  EXPECT_EQ(tree.Lookup(90).size(), 50u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, BalancedRangesCoverAllEntries) {
+  BTreeIndex tree(/*fanout=*/8);
+  for (int i = 0; i < 1000; ++i) tree.Insert(i, Tid(i));
+  auto ranges = tree.BalancedRanges(4);
+  ASSERT_EQ(ranges.size(), 4u);
+  // Disjoint, ordered, covering [0, 999].
+  EXPECT_EQ(ranges.front().lo, 0);
+  EXPECT_EQ(ranges.back().hi, 999);
+  size_t total = 0;
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    if (r > 0) {
+      EXPECT_GT(ranges[r].lo, ranges[r - 1].hi);
+    }
+    size_t in_range = 0;
+    for (auto it = tree.Scan(ranges[r].lo, ranges[r].hi); it.Valid();
+         it.Next())
+      ++in_range;
+    // Roughly balanced: each range within 2x of the ideal quarter.
+    EXPECT_GT(in_range, 100u);
+    EXPECT_LT(in_range, 500u);
+    total += in_range;
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(BTreeTest, BalancedRangesWithSkew) {
+  BTreeIndex tree(/*fanout=*/8);
+  // 90% of entries share one key: ranges must not split the duplicates.
+  for (int i = 0; i < 900; ++i) tree.Insert(50, Tid(i));
+  for (int i = 0; i < 100; ++i) tree.Insert(i, Tid(1000 + i));
+  auto ranges = tree.BalancedRanges(4);
+  ASSERT_FALSE(ranges.empty());
+  size_t total = 0;
+  for (const auto& r : ranges) {
+    for (auto it = tree.Scan(r.lo, r.hi); it.Valid(); it.Next()) ++total;
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(BTreeTest, FewDistinctKeysYieldFewerRanges) {
+  BTreeIndex tree;
+  tree.Insert(1, Tid(1));
+  tree.Insert(2, Tid(2));
+  auto ranges = tree.BalancedRanges(8);
+  EXPECT_LE(ranges.size(), 2u);
+}
+
+// Property sweep: random inserts at several fanouts and sizes keep every
+// structural invariant and stay consistent with a reference multimap.
+class BTreePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceMultimap) {
+  auto [fanout, n, seed] = GetParam();
+  BTreeIndex tree(fanout);
+  std::multimap<int32_t, TupleId> reference;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    int32_t key = static_cast<int32_t>(rng.NextInt(-200, 200));  // duplicates
+    TupleId tid = Tid(static_cast<uint32_t>(i));
+    tree.Insert(key, tid);
+    reference.emplace(key, tid);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), reference.size());
+
+  // Every key's postings match (as sets).
+  for (int32_t key = -200; key <= 200; ++key) {
+    auto hits = tree.Lookup(key);
+    auto [lo, hi] = reference.equal_range(key);
+    std::vector<TupleId> expected;
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    std::sort(hits.begin(), hits.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(hits, expected) << "key " << key;
+  }
+
+  // Random range scans match the reference.
+  for (int trial = 0; trial < 20; ++trial) {
+    int32_t a = static_cast<int32_t>(rng.NextInt(-250, 250));
+    int32_t b = static_cast<int32_t>(rng.NextInt(-250, 250));
+    if (a > b) std::swap(a, b);
+    size_t got = 0;
+    for (auto it = tree.Scan(a, b); it.Valid(); it.Next()) ++got;
+    size_t expected = std::distance(reference.lower_bound(a),
+                                    reference.upper_bound(b));
+    EXPECT_EQ(got, expected) << "range [" << a << "," << b << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndSizes, BTreePropertyTest,
+    ::testing::Combine(::testing::Values(4, 8, 64),
+                       ::testing::Values(50, 500, 3000),
+                       ::testing::Values(1u, 2u)));
+
+// Balanced ranges partition the entry set for arbitrary data.
+class BTreeRangeParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeRangeParamTest, RangesPartitionEntries) {
+  int n_ranges = GetParam();
+  BTreeIndex tree(/*fanout=*/16);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i)
+    tree.Insert(static_cast<int32_t>(rng.NextInt(0, 300)), Tid(i));
+  auto ranges = tree.BalancedRanges(n_ranges);
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_LE(ranges.size(), static_cast<size_t>(n_ranges));
+  size_t total = 0;
+  int32_t prev_hi = INT32_MIN;
+  for (const auto& r : ranges) {
+    EXPECT_LE(r.lo, r.hi);
+    if (prev_hi != INT32_MIN) {
+      EXPECT_GT(r.lo, prev_hi);
+    }
+    prev_hi = r.hi;
+    for (auto it = tree.Scan(r.lo, r.hi); it.Valid(); it.Next()) ++total;
+  }
+  EXPECT_EQ(total, 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RangeCounts, BTreeRangeParamTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace xprs

@@ -1,0 +1,92 @@
+// Death tests for the CHECK macros and CHECK-guarded API misuse: invariant
+// violations must abort loudly rather than corrupt state.
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "sim/fluid_sim.h"
+#include "storage/page.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace xprs {
+namespace {
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ XPRS_CHECK(1 == 2); }, "CHECK failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, CheckMsgIncludesMessage) {
+  EXPECT_DEATH({ XPRS_CHECK_MSG(false, "the reason"); }, "the reason");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH({ XPRS_CHECK_OK(Status::IoError("disk 2 on fire")); },
+               "disk 2 on fire");
+}
+
+TEST(CheckDeathTest, ComparisonsPass) {
+  XPRS_CHECK_GE(2, 2);
+  XPRS_CHECK_GT(3, 2);
+  XPRS_CHECK_LE(2, 2);
+  XPRS_CHECK_LT(2, 3);
+  XPRS_CHECK_EQ(5, 5);
+  XPRS_CHECK_NE(5, 6);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, RngRejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_DEATH({ rng.NextUint64(0); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, SchedulerRejectsDuplicateTaskIds) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SchedulerOptions so;
+  EXPECT_DEATH(
+      {
+        AdaptiveScheduler sched(m, so);
+        FluidSimulator sim(m, SimOptions());
+        TaskProfile t;
+        t.id = 1;
+        t.seq_time = 1.0;
+        t.total_ios = 1.0;
+        sim.Run(&sched, {t, t});  // same id twice
+      },
+      "CHECK failed");
+}
+
+TEST(CheckDeathTest, SchedulerRejectsNonPositiveSeqTime) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SchedulerOptions so;
+  EXPECT_DEATH(
+      {
+        AdaptiveScheduler sched(m, so);
+        FluidSimulator sim(m, SimOptions());
+        TaskProfile t;
+        t.id = 1;
+        t.seq_time = 0.0;
+        sim.Run(&sched, {t});
+      },
+      "CHECK failed");
+}
+
+TEST(CheckDeathTest, SimulatorDetectsDependencyDeadlock) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SchedulerOptions so;
+  EXPECT_DEATH(
+      {
+        AdaptiveScheduler sched(m, so);
+        FluidSimulator sim(m, SimOptions());
+        TaskProfile t;
+        t.id = 1;
+        t.seq_time = 1.0;
+        t.total_ios = 10.0;
+        t.deps = {99};  // never submitted
+        sim.Run(&sched, {t});
+      },
+      "deadlock");
+}
+
+}  // namespace
+}  // namespace xprs

@@ -1,0 +1,97 @@
+// Tests for the §2.5 cost formulas T_intra and T_inter.
+
+#include <gtest/gtest.h>
+
+#include "sched/cost.h"
+
+namespace xprs {
+namespace {
+
+TaskProfile Task(TaskId id, double rate, double seq_time,
+                 IoPattern pattern = IoPattern::kSequential) {
+  TaskProfile t;
+  t.id = id;
+  t.seq_time = seq_time;
+  t.total_ios = rate * seq_time;
+  t.pattern = pattern;
+  return t;
+}
+
+TEST(TIntraTest, CpuBoundUsesAllProcessors) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  EXPECT_DOUBLE_EQ(TIntra(Task(1, 10.0, 16.0), m), 2.0);  // 16 / 8
+}
+
+TEST(TIntraTest, IoBoundLimitedByBandwidth) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // maxp = 240/60 = 4 -> 20/4 = 5.
+  EXPECT_DOUBLE_EQ(TIntra(Task(1, 60.0, 20.0), m), 5.0);
+}
+
+TEST(TInterTest, InvalidWhenBothCpuBound) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  InterCost ic = TInter(Task(1, 10.0, 10.0), Task(2, 20.0, 10.0), m, false);
+  EXPECT_FALSE(ic.valid);
+}
+
+TEST(TInterTest, HandComputedConstantB) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // ci=60 Ti=16, cj=10 Tj=48. Balance: xi=3.2, xj=4.8.
+  // fin_i = 16/3.2 = 5, fin_j = 48/4.8 = 10 -> i finishes first at t=5.
+  // T_ij = 48 - 16*4.8/3.2 = 48 - 24 = 24; maxp_j = 8 -> +3.
+  // T_inter = 5 + 3 = 8.
+  InterCost ic = TInter(Task(1, 60.0, 16.0), Task(2, 10.0, 48.0), m, false);
+  ASSERT_TRUE(ic.valid);
+  EXPECT_EQ(ic.first_finisher, 1);
+  EXPECT_NEAR(ic.remaining_seq_time, 24.0, 1e-9);
+  EXPECT_NEAR(ic.t_inter, 8.0, 1e-9);
+}
+
+TEST(TInterTest, SymmetricWhenArgumentsSwapped) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  InterCost a = TInter(Task(1, 60.0, 16.0), Task(2, 10.0, 48.0), m, false);
+  InterCost b = TInter(Task(2, 10.0, 48.0), Task(1, 60.0, 16.0), m, false);
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+  EXPECT_NEAR(a.t_inter, b.t_inter, 1e-9);
+  EXPECT_EQ(a.first_finisher, b.first_finisher);
+}
+
+TEST(TInterTest, SimultaneousFinishHasZeroRemainder) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // Choose Tj so both finish together: Ti/xi = Tj/xj with xi=3.2, xj=4.8.
+  // Ti=16 -> fin=5 -> Tj = 24.
+  InterCost ic = TInter(Task(1, 60.0, 16.0), Task(2, 10.0, 24.0), m, false);
+  ASSERT_TRUE(ic.valid);
+  EXPECT_NEAR(ic.remaining_seq_time, 0.0, 1e-9);
+  EXPECT_NEAR(ic.t_inter, 5.0, 1e-9);
+}
+
+TEST(TInterTest, PairedBeatsSerialIntraForIdealMix) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // An extremely IO-bound random scan + an extremely CPU-bound seq scan:
+  // exactly the case §2.3 says always wins.
+  TaskProfile io = Task(1, 65.0, 20.0, IoPattern::kRandom);
+  TaskProfile cpu = Task(2, 6.0, 20.0, IoPattern::kSequential);
+  InterCost ic = TInter(io, cpu, m, true);
+  ASSERT_TRUE(ic.valid);
+  double serial = TIntra(io, m) + TIntra(cpu, m);
+  EXPECT_LT(ic.t_inter, serial);
+}
+
+TEST(TInterTest, SeekInterferenceCanMakePairingLose) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // Two sequential scans close to the threshold: the effective-bandwidth
+  // drop should make paired execution not (much) better than serial.
+  TaskProfile io = Task(1, 40.0, 20.0, IoPattern::kSequential);
+  TaskProfile cpu = Task(2, 25.0, 20.0, IoPattern::kSequential);
+  InterCost with = TInter(io, cpu, m, true);
+  InterCost without = TInter(io, cpu, m, false);
+  ASSERT_TRUE(without.valid);
+  if (with.valid) {
+    EXPECT_GE(with.t_inter, without.t_inter - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace xprs

@@ -1,0 +1,306 @@
+// Tests for the fluid resource simulator: exact completion times, bandwidth
+// throttling, seek-interference blending, arrivals, adjustment latency, and
+// end-to-end runs of all three scheduling policies.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/fluid_sim.h"
+#include "util/stats.h"
+#include "workload/tasks.h"
+
+namespace xprs {
+namespace {
+
+TaskProfile Task(TaskId id, double rate, double seq_time,
+                 IoPattern pattern = IoPattern::kSequential,
+                 double arrival = 0.0) {
+  TaskProfile t;
+  t.id = id;
+  t.name = "t" + std::to_string(id);
+  t.seq_time = seq_time;
+  t.total_ios = rate * seq_time;
+  t.pattern = pattern;
+  t.query_id = id;
+  t.arrival_time = arrival;
+  return t;
+}
+
+SchedulerOptions Opts(SchedPolicy policy) {
+  SchedulerOptions o;
+  o.policy = policy;
+  return o;
+}
+
+// Ideal fluid model: no adjustment latency, no excess-parallelism penalty.
+SimOptions NoLatency() {
+  SimOptions o;
+  o.adjust_latency = 0.0;
+  o.excess_penalty = 0.0;
+  return o;
+}
+
+TEST(FluidSimTest, SingleCpuBoundTaskLinearSpeedup) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  FluidSimulator sim(m, NoLatency());
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kIntraOnly));
+  // CPU-bound: C=10 -> maxp=8 -> elapsed = 16/8 = 2s; io never throttles
+  // (10*8=80 <= 240).
+  SimResult r = sim.Run(&sched, {Task(1, 10.0, 16.0)});
+  EXPECT_NEAR(r.elapsed, 2.0, 1e-9);
+  EXPECT_NEAR(r.cpu_utilization, 1.0, 1e-9);
+  EXPECT_NEAR(r.tasks.at(1).ios_done, 160.0, 1e-9);
+}
+
+TEST(FluidSimTest, SingleIoBoundTaskLimitedByBandwidth) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  FluidSimulator sim(m, NoLatency());
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kIntraOnly));
+  // C=60 seq: maxp = 240/60 = 4 -> elapsed = 20/4 = 5s, io fully used.
+  SimResult r = sim.Run(&sched, {Task(1, 60.0, 20.0)});
+  EXPECT_NEAR(r.elapsed, 5.0, 1e-9);
+  EXPECT_NEAR(r.io_utilization, 1.0, 1e-6);
+}
+
+TEST(FluidSimTest, ThrottlingCapsProgress) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SimOptions so = NoLatency();
+  FluidSimulator sim(m, so);
+  // Force oversubscription of the disks: integer rounding can demand
+  // 70*4=280 > 240... use intra-only with a random-pattern task whose maxp
+  // rounds above the random bandwidth: C=45 random -> maxp=140/45=3.1 -> 3,
+  // demand 135 < 140, no throttle; instead use C=50 random: maxp=2.8 -> 3,
+  // demand 150 > 140 -> throttled, elapsed = T * demand/(140/50) ...
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kIntraOnly));
+  SimResult r = sim.Run(&sched, {Task(1, 50.0, 14.0, IoPattern::kRandom)});
+  // Granted rate = 140 io/s; total ios = 700 -> 5s (not 14/3 = 4.67).
+  EXPECT_NEAR(r.elapsed, 5.0, 1e-9);
+}
+
+TEST(FluidSimTest, IoConservation) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  FluidSimulator sim(m, NoLatency());
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kInterWithAdj));
+  auto tasks = {Task(1, 60.0, 10.0, IoPattern::kRandom), Task(2, 8.0, 12.0)};
+  SimResult r = sim.Run(&sched, tasks);
+  for (const auto& [id, tr] : r.tasks) {
+    EXPECT_NEAR(tr.ios_done, id == 1 ? 600.0 : 96.0, 1e-6);
+    EXPECT_GE(tr.finish_time, tr.start_time);
+    EXPECT_GE(tr.start_time, tr.arrival_time);
+  }
+}
+
+TEST(FluidSimTest, PairedTasksFinishFasterThanSerial) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // Ideal mix: extremely io-bound random scan + extremely cpu-bound scan.
+  auto tasks = {Task(1, 65.0, 20.0, IoPattern::kRandom), Task(2, 6.0, 20.0)};
+
+  FluidSimulator sim_a(m, NoLatency());
+  AdaptiveScheduler intra(m, Opts(SchedPolicy::kIntraOnly));
+  double t_intra = sim_a.Run(&intra, tasks).elapsed;
+
+  FluidSimulator sim_b(m, NoLatency());
+  AdaptiveScheduler inter(m, Opts(SchedPolicy::kInterWithAdj));
+  double t_inter = sim_b.Run(&inter, tasks).elapsed;
+
+  EXPECT_LT(t_inter, t_intra);
+}
+
+TEST(FluidSimTest, ArrivalsDelayExecution) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  FluidSimulator sim(m, NoLatency());
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kIntraOnly));
+  SimResult r = sim.Run(
+      &sched, {Task(1, 10.0, 8.0, IoPattern::kSequential, /*arrival=*/5.0)});
+  EXPECT_NEAR(r.tasks.at(1).start_time, 5.0, 1e-9);
+  EXPECT_NEAR(r.elapsed, 6.0, 1e-9);
+  EXPECT_NEAR(r.tasks.at(1).response_time(), 1.0, 1e-9);
+}
+
+TEST(FluidSimTest, IdleGapBetweenArrivalsHandled) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  FluidSimulator sim(m, NoLatency());
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kIntraOnly));
+  SimResult r = sim.Run(&sched, {Task(1, 10.0, 8.0),
+                                 Task(2, 10.0, 8.0, IoPattern::kSequential,
+                                      /*arrival=*/100.0)});
+  EXPECT_NEAR(r.elapsed, 101.0, 1e-9);
+}
+
+TEST(FluidSimTest, AdjustmentLatencyDelaysEffect) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SimOptions with_latency;
+  with_latency.adjust_latency = 1.0;
+
+  // One cpu-bound task paired with an io task that finishes quickly; the
+  // survivor is adjusted up, but only after the protocol latency, so the
+  // elapsed time is strictly larger than with zero latency.
+  auto tasks = {Task(1, 65.0, 2.0, IoPattern::kRandom), Task(2, 6.0, 30.0)};
+
+  FluidSimulator fast(m, NoLatency());
+  AdaptiveScheduler s1(m, Opts(SchedPolicy::kInterWithAdj));
+  double t_fast = fast.Run(&s1, tasks).elapsed;
+
+  FluidSimulator slow(m, with_latency);
+  AdaptiveScheduler s2(m, Opts(SchedPolicy::kInterWithAdj));
+  double t_slow = slow.Run(&s2, tasks).elapsed;
+
+  EXPECT_GT(t_slow, t_fast);
+  EXPECT_LT(t_slow, t_fast + 2.0);  // bounded by the latency effect
+}
+
+TEST(FluidSimTest, ExcessParallelismDegradesProgress) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  // INTER-WITHOUT-ADJ backfills the leftover processors uncapped: after
+  // the cpu-bound partner of a pair finishes, a random-io task (maxp =
+  // 140/55 = 2.5) is started on ~7 processors — far past its maxp. With
+  // the [HONG91] penalty enabled this must cost elapsed time.
+  std::vector<TaskProfile> tasks = {
+      Task(1, 65.0, 6.0, IoPattern::kRandom),
+      Task(2, 6.0, 6.0),
+      Task(3, 55.0, 20.0, IoPattern::kRandom),
+  };
+  SimOptions plateau = NoLatency();
+  SimOptions punished = NoLatency();
+  punished.excess_penalty = 0.3;
+
+  FluidSimulator a(m, plateau);
+  AdaptiveScheduler s1(m, Opts(SchedPolicy::kInterWithoutAdj));
+  double t1 = a.Run(&s1, tasks).elapsed;
+  FluidSimulator b(m, punished);
+  AdaptiveScheduler s2(m, Opts(SchedPolicy::kInterWithoutAdj));
+  double t2 = b.Run(&s2, tasks).elapsed;
+  EXPECT_GT(t2, t1 + 1e-6);
+}
+
+TEST(FluidSimTest, ProcessOverheadSlowsExecution) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SimOptions ideal = NoLatency();
+  SimOptions lossy = NoLatency();
+  lossy.process_overhead = 0.05;
+
+  FluidSimulator a(m, ideal);
+  AdaptiveScheduler s1(m, Opts(SchedPolicy::kIntraOnly));
+  double t1 = a.Run(&s1, {Task(1, 5.0, 16.0)}).elapsed;
+
+  FluidSimulator b(m, lossy);
+  AdaptiveScheduler s2(m, Opts(SchedPolicy::kIntraOnly));
+  double t2 = b.Run(&s2, {Task(1, 5.0, 16.0)}).elapsed;
+
+  // x=8 with 5% overhead: speedup = 8/1.35 = 5.93 -> 16/5.93 = 2.7s.
+  EXPECT_NEAR(t1, 2.0, 1e-9);
+  EXPECT_NEAR(t2, 16.0 * 1.35 / 8.0, 1e-9);
+}
+
+TEST(FluidSimTest, TraceCoversWholeRun) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  FluidSimulator sim(m, NoLatency());
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kInterWithAdj));
+  SimResult r = sim.Run(&sched, {Task(1, 60.0, 10.0, IoPattern::kRandom),
+                                 Task(2, 8.0, 12.0)});
+  double covered = 0.0;
+  for (const auto& s : sim.trace()) {
+    EXPECT_GE(s.duration, 0.0);
+    EXPECT_LE(s.cpus_busy, 8.0 + 1e-9);
+    covered += s.duration;
+  }
+  EXPECT_NEAR(covered, r.elapsed, 1e-6);
+}
+
+TEST(FluidSimTest, GanttRendersEveryTask) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  FluidSimulator sim(m, NoLatency());
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kInterWithAdj));
+  SimResult r = sim.Run(&sched, {Task(1, 60.0, 10.0, IoPattern::kRandom),
+                                 Task(2, 8.0, 12.0)});
+  std::string gantt = RenderGantt(sim.trace(), r, 40);
+  // One row per task plus the header line.
+  EXPECT_NE(gantt.find("task    1"), std::string::npos);
+  EXPECT_NE(gantt.find("task    2"), std::string::npos);
+  EXPECT_NE(gantt.find("resp"), std::string::npos);
+  // Digits appear (processors assigned) and rows are padded to width.
+  EXPECT_NE(gantt.find_first_of("12345678"), std::string::npos);
+}
+
+TEST(FluidSimTest, GanttEmptyForEmptyRun) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  FluidSimulator sim(m, NoLatency());
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kIntraOnly));
+  SimResult r = sim.Run(&sched, {});
+  EXPECT_TRUE(RenderGantt(sim.trace(), r).empty());
+}
+
+TEST(FluidSimTest, DeterministicAcrossRuns) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  Rng rng(42);
+  WorkloadOptions wo;
+  auto tasks = MakeWorkload(WorkloadKind::kRandomMix, wo, &rng);
+
+  double first = -1.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    FluidSimulator sim(m, SimOptions());
+    AdaptiveScheduler sched(m, Opts(SchedPolicy::kInterWithAdj));
+    double t = sim.Run(&sched, tasks).elapsed;
+    if (first < 0)
+      first = t;
+    else
+      EXPECT_DOUBLE_EQ(t, first);
+  }
+}
+
+// End-to-end: all three policies complete each §3 workload and WITH-ADJ is
+// never slower than the others on the extreme mix.
+class PolicyWorkloadTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, SchedPolicy>> {
+};
+
+TEST_P(PolicyWorkloadTest, CompletesAllTasks) {
+  auto [kind, policy] = GetParam();
+  MachineConfig m = MachineConfig::PaperConfig();
+  Rng rng(7);
+  WorkloadOptions wo;
+  auto tasks = MakeWorkload(kind, wo, &rng);
+
+  FluidSimulator sim(m, SimOptions());
+  AdaptiveScheduler sched(m, Opts(policy));
+  SimResult r = sim.Run(&sched, tasks);
+  EXPECT_EQ(r.tasks.size(), tasks.size());
+  EXPECT_GT(r.elapsed, 0.0);
+  for (const auto& [id, tr] : r.tasks) EXPECT_GE(tr.finish_time, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PolicyWorkloadTest,
+    ::testing::Combine(::testing::Values(WorkloadKind::kAllIoBound,
+                                         WorkloadKind::kAllCpuBound,
+                                         WorkloadKind::kExtremeMix,
+                                         WorkloadKind::kRandomMix),
+                       ::testing::Values(SchedPolicy::kIntraOnly,
+                                         SchedPolicy::kInterWithoutAdj,
+                                         SchedPolicy::kInterWithAdj)));
+
+TEST(PolicyComparisonTest, WithAdjWinsOnExtremeMix) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  WorkloadOptions wo;
+  RunningStat gain;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    auto tasks = MakeWorkload(WorkloadKind::kExtremeMix, wo, &rng);
+
+    FluidSimulator sa(m, SimOptions());
+    AdaptiveScheduler intra(m, Opts(SchedPolicy::kIntraOnly));
+    double t_intra = sa.Run(&intra, tasks).elapsed;
+
+    FluidSimulator sb(m, SimOptions());
+    AdaptiveScheduler with(m, Opts(SchedPolicy::kInterWithAdj));
+    double t_with = sb.Run(&with, tasks).elapsed;
+
+    gain.Add((t_intra - t_with) / t_intra);
+  }
+  // The paper reports up to ~25% improvement on mixed workloads.
+  EXPECT_GT(gain.mean(), 0.10);
+}
+
+}  // namespace
+}  // namespace xprs

@@ -1,0 +1,160 @@
+// Additional scheduler option coverage: fractional parallelism, FIFO
+// pairing, max_concurrent bounds, and balance-point envelope properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/balance.h"
+#include "sim/fluid_sim.h"
+#include "workload/tasks.h"
+
+namespace xprs {
+namespace {
+
+TaskProfile Task(TaskId id, double rate, double seq_time,
+                 IoPattern pattern = IoPattern::kSequential) {
+  TaskProfile t;
+  t.id = id;
+  t.seq_time = seq_time;
+  t.total_ios = rate * seq_time;
+  t.pattern = pattern;
+  t.query_id = id;
+  return t;
+}
+
+SimOptions Ideal() {
+  SimOptions o;
+  o.adjust_latency = 0.0;
+  o.excess_penalty = 0.0;
+  return o;
+}
+
+TEST(FractionalParallelismTest, PairSumsExactlyToN) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SchedulerOptions so;
+  so.integer_parallelism = false;
+  so.model_seek_interference = false;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, Ideal());
+  // Rates 60/10 -> continuous balance point (3.2, 4.8).
+  sim.Run(&sched, {Task(1, 60.0, 20.0, IoPattern::kRandom),
+                   Task(2, 10.0, 24.0)});
+  bool saw_fractional = false;
+  for (const auto& d : sched.decisions()) {
+    if (d.kind == SchedDecision::Kind::kStart &&
+        std::abs(d.parallelism - std::llround(d.parallelism)) > 1e-6)
+      saw_fractional = true;
+  }
+  EXPECT_TRUE(saw_fractional) << "continuous mode must emit fractional x";
+}
+
+TEST(FractionalParallelismTest, NeverSlowerThanIntegerOnAverage) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  double frac_total = 0.0, int_total = 0.0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    WorkloadOptions wo;
+    auto tasks = MakeWorkload(WorkloadKind::kExtremeMix, wo, &rng);
+
+    SchedulerOptions fractional;
+    fractional.integer_parallelism = false;
+    AdaptiveScheduler s1(m, fractional);
+    FluidSimulator sim1(m, Ideal());
+    frac_total += sim1.Run(&s1, tasks).elapsed;
+
+    SchedulerOptions integer;
+    AdaptiveScheduler s2(m, integer);
+    FluidSimulator sim2(m, Ideal());
+    int_total += sim2.Run(&s2, tasks).elapsed;
+  }
+  EXPECT_LE(frac_total, int_total * 1.02);
+}
+
+TEST(FifoPairingTest, PicksFirstArrivalsNotExtremes) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SchedulerOptions so;
+  so.pairing_rule = PairingRule::kFifo;
+  so.model_seek_interference = false;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, Ideal());
+  // Two io-bound (35 first, 65 second) and two cpu-bound (25 first, 5
+  // second): FIFO must pair 1 with 3, not the extremes 2 with 4.
+  SimResult r = sim.Run(&sched, {Task(1, 35.0, 10.0, IoPattern::kRandom),
+                                 Task(2, 65.0, 10.0, IoPattern::kRandom),
+                                 Task(3, 25.0, 10.0),
+                                 Task(4, 5.0, 10.0)});
+  ASSERT_GE(sched.decisions().size(), 2u);
+  EXPECT_EQ(sched.decisions()[0].task, 1);
+  EXPECT_EQ(sched.decisions()[1].task, 3);
+  EXPECT_EQ(r.tasks.size(), 4u);
+}
+
+TEST(MaxConcurrentTest, OneMeansSerialExecution) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SchedulerOptions so;
+  so.max_concurrent = 1;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, Ideal());
+  SimResult r = sim.Run(&sched, {Task(1, 60.0, 10.0, IoPattern::kRandom),
+                                 Task(2, 8.0, 10.0)});
+  for (const auto& s : sim.trace()) EXPECT_LE(s.tasks_running, 1);
+  EXPECT_EQ(r.tasks.size(), 2u);
+}
+
+TEST(BalanceEnvelopeTest, EffectiveBandwidthWithinPhysicalRange) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  for (double ci : {32.0, 40.0, 55.0, 70.0}) {
+    for (double cj : {5.0, 15.0, 28.0}) {
+      for (IoPattern pi : {IoPattern::kSequential, IoPattern::kRandom}) {
+        BalancePoint bp = SolveBalance(Task(1, ci, 10.0, pi),
+                                       Task(2, cj, 10.0), m, true);
+        if (!bp.valid) continue;
+        EXPECT_GE(bp.effective_bandwidth, m.rand_bandwidth() - 1e-6);
+        EXPECT_LE(bp.effective_bandwidth, m.seq_bandwidth() + 1e-6);
+        EXPECT_NEAR(bp.xi + bp.xj, m.num_cpus, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(BalanceEnvelopeTest, ThresholdTaskNeverPairs) {
+  // A task exactly at B/N is CPU-bound by definition; paired with another
+  // CPU-bound task there is no balance point.
+  BalancePoint bp = SolveBalanceConstantB(30.0, 10.0, 8, 240.0);
+  // 30*8 = 240 exactly: xj = (CiN - B)/(Ci - Cj) = 0 -> invalid.
+  EXPECT_FALSE(bp.valid);
+}
+
+TEST(MachineConfigTest, AlternateGeometriesClassifyConsistently) {
+  MachineConfig wide;
+  wide.num_cpus = 16;
+  wide.num_disks = 8;
+  // B = 8*60 = 480, threshold = 30 again.
+  EXPECT_DOUBLE_EQ(wide.io_cpu_threshold(), 30.0);
+
+  MachineConfig skinny;
+  skinny.num_cpus = 2;
+  skinny.num_disks = 8;
+  // threshold = 480/2 = 240: nearly everything is CPU-bound.
+  TaskProfile t = Task(1, 70.0, 10.0);
+  EXPECT_FALSE(IsIoBound(t, skinny));
+  EXPECT_DOUBLE_EQ(MaxParallelism(t, skinny), 2.0);
+}
+
+TEST(MachineConfigTest, SchedulerWorksOnAlternateGeometry) {
+  MachineConfig m;
+  m.num_cpus = 4;
+  m.num_disks = 2;  // B = 120, threshold = 30
+  SchedulerOptions so;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, Ideal());
+  SimResult r = sim.Run(&sched, {Task(1, 50.0, 8.0, IoPattern::kRandom),
+                                 Task(2, 6.0, 8.0),
+                                 Task(3, 40.0, 8.0)});
+  EXPECT_EQ(r.tasks.size(), 3u);
+  for (const auto& s : sim.trace()) EXPECT_LE(s.cpus_busy, 4.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace xprs

@@ -1,0 +1,244 @@
+// Parameterized property sweeps over the scheduler + fluid simulator:
+// physical lower bounds, conservation laws, utilization bounds, arrival
+// ordering, and policy invariants hold for every (policy, workload, seed)
+// combination.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/cost.h"
+#include "sim/fluid_sim.h"
+#include "workload/tasks.h"
+
+namespace xprs {
+namespace {
+
+using Combo = std::tuple<SchedPolicy, WorkloadKind, uint64_t>;
+
+class SchedulePropertyTest : public ::testing::TestWithParam<Combo> {
+ protected:
+  static std::vector<TaskProfile> MakeTasks(WorkloadKind kind,
+                                            uint64_t seed) {
+    Rng rng(seed);
+    WorkloadOptions wo;
+    wo.index_scan_fraction = 0.3;
+    return MakeWorkload(kind, wo, &rng);
+  }
+};
+
+TEST_P(SchedulePropertyTest, PhysicalLowerBoundsHold) {
+  auto [policy, kind, seed] = GetParam();
+  MachineConfig m = MachineConfig::PaperConfig();
+  auto tasks = MakeTasks(kind, seed);
+
+  SchedulerOptions so;
+  so.policy = policy;
+  AdaptiveScheduler sched(m, so);
+  SimOptions sim_opts;
+  sim_opts.adjust_latency = 0.0;
+  sim_opts.excess_penalty = 0.0;
+  FluidSimulator sim(m, sim_opts);
+  SimResult r = sim.Run(&sched, tasks);
+
+  // Bound 1: total cpu work / N processors.
+  double total_work = 0.0;
+  for (const auto& t : tasks) total_work += t.seq_time;
+  EXPECT_GE(r.elapsed + 1e-6, total_work / m.num_cpus);
+
+  // Bound 2: total io / the best-case bandwidth.
+  double total_ios = 0.0;
+  for (const auto& t : tasks) total_ios += t.total_ios;
+  EXPECT_GE(r.elapsed + 1e-6, total_ios / m.seq_bandwidth());
+
+  // Bound 3: no task can beat its own intra-op optimum.
+  for (const auto& t : tasks) {
+    EXPECT_GE(r.elapsed + 1e-6, TIntra(t, m)) << t.ToString();
+  }
+}
+
+TEST_P(SchedulePropertyTest, ConservationAndCompletion) {
+  auto [policy, kind, seed] = GetParam();
+  MachineConfig m = MachineConfig::PaperConfig();
+  auto tasks = MakeTasks(kind, seed);
+
+  SchedulerOptions so;
+  so.policy = policy;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, SimOptions());
+  SimResult r = sim.Run(&sched, tasks);
+
+  ASSERT_EQ(r.tasks.size(), tasks.size());
+  for (const auto& t : tasks) {
+    const SimTaskResult& tr = r.tasks.at(t.id);
+    EXPECT_NEAR(tr.ios_done, t.total_ios, 1e-6) << t.ToString();
+    EXPECT_GE(tr.start_time, tr.arrival_time - 1e-9);
+    EXPECT_GT(tr.finish_time, tr.start_time);
+    EXPECT_LE(tr.finish_time, r.elapsed + 1e-9);
+  }
+  EXPECT_TRUE(sched.Idle());
+}
+
+TEST_P(SchedulePropertyTest, ResourceEnvelopeRespected) {
+  auto [policy, kind, seed] = GetParam();
+  MachineConfig m = MachineConfig::PaperConfig();
+  auto tasks = MakeTasks(kind, seed);
+
+  SchedulerOptions so;
+  so.policy = policy;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, SimOptions());
+  SimResult r = sim.Run(&sched, tasks);
+
+  EXPECT_LE(r.cpu_utilization, 1.0 + 1e-9);
+  EXPECT_GT(r.cpu_utilization, 0.0);
+  for (const auto& s : sim.trace()) {
+    EXPECT_LE(s.cpus_busy, m.num_cpus + 1e-9);
+    EXPECT_LE(s.io_rate, m.seq_bandwidth() + 1e-6);
+    EXPECT_LE(s.tasks_running, 2) << "more than a pair running";
+  }
+}
+
+TEST_P(SchedulePropertyTest, NonAdjustingPoliciesNeverAdjust) {
+  auto [policy, kind, seed] = GetParam();
+  if (policy == SchedPolicy::kInterWithAdj) GTEST_SKIP();
+  MachineConfig m = MachineConfig::PaperConfig();
+  auto tasks = MakeTasks(kind, seed);
+  SchedulerOptions so;
+  so.policy = policy;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, SimOptions());
+  SimResult r = sim.Run(&sched, tasks);
+  EXPECT_EQ(r.num_adjustments, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyWorkloadSeeds, SchedulePropertyTest,
+    ::testing::Combine(::testing::Values(SchedPolicy::kIntraOnly,
+                                         SchedPolicy::kInterWithoutAdj,
+                                         SchedPolicy::kInterWithAdj),
+                       ::testing::Values(WorkloadKind::kAllIoBound,
+                                         WorkloadKind::kAllCpuBound,
+                                         WorkloadKind::kExtremeMix,
+                                         WorkloadKind::kRandomMix),
+                       ::testing::Values(11u, 22u, 33u)));
+
+// ------------------------------ continuous arrival sequences (§2.5 queues)
+
+class ArrivalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArrivalPropertyTest, QueueModeRespectsArrivals) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  Rng rng(GetParam());
+  WorkloadOptions wo;
+  wo.num_tasks = 20;
+  auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, wo, 3.0, &rng);
+
+  SchedulerOptions so;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, SimOptions());
+  SimResult r = sim.Run(&sched, tasks);
+
+  for (const auto& t : tasks) {
+    EXPECT_GE(r.tasks.at(t.id).start_time, t.arrival_time - 1e-9)
+        << "task started before it arrived";
+  }
+  EXPECT_GE(r.elapsed, tasks.back().arrival_time);
+}
+
+TEST_P(ArrivalPropertyTest, SjfNeverIncreasesMeanResponseMuch) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  Rng rng(GetParam() + 100);
+  WorkloadOptions wo;
+  wo.num_tasks = 30;
+  auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, wo, 2.0, &rng);
+
+  SchedulerOptions plain;
+  AdaptiveScheduler s1(m, plain);
+  FluidSimulator sim1(m, SimOptions());
+  double resp_plain = sim1.Run(&s1, tasks).mean_response_time;
+
+  SchedulerOptions sjf;
+  sjf.shortest_job_first = true;
+  AdaptiveScheduler s2(m, sjf);
+  FluidSimulator sim2(m, SimOptions());
+  double resp_sjf = sim2.Run(&s2, tasks).mean_response_time;
+
+  // SJF is a heuristic; allow slack but catch gross regressions.
+  EXPECT_LE(resp_sjf, resp_plain * 1.25 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrivalPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ------------------------------------------- edge cases of the simulator
+
+TEST(SimEdgeTest, EmptyWorkload) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SchedulerOptions so;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, SimOptions());
+  SimResult r = sim.Run(&sched, {});
+  EXPECT_DOUBLE_EQ(r.elapsed, 0.0);
+  EXPECT_TRUE(r.tasks.empty());
+}
+
+TEST(SimEdgeTest, ZeroIoTaskIsPureCpu) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TaskProfile t;
+  t.id = 1;
+  t.seq_time = 8.0;
+  t.total_ios = 0.0;
+  SchedulerOptions so;
+  AdaptiveScheduler sched(m, so);
+  SimOptions ideal;
+  ideal.excess_penalty = 0.0;
+  FluidSimulator sim(m, ideal);
+  SimResult r = sim.Run(&sched, {t});
+  EXPECT_NEAR(r.elapsed, 1.0, 1e-9);  // 8s / 8 cpus
+}
+
+TEST(SimEdgeTest, TinyTaskFinishesInstantly) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TaskProfile t;
+  t.id = 1;
+  t.seq_time = 1e-6;
+  t.total_ios = 1e-5;
+  SchedulerOptions so;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, SimOptions());
+  SimResult r = sim.Run(&sched, {t});
+  EXPECT_LT(r.elapsed, 1e-3);
+}
+
+TEST(SimEdgeTest, ManyTasksCompleteDeterministically) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  Rng rng(77);
+  WorkloadOptions wo;
+  wo.num_tasks = 200;
+  auto tasks = MakeWorkload(WorkloadKind::kRandomMix, wo, &rng);
+  SchedulerOptions so;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, SimOptions());
+  SimResult r = sim.Run(&sched, tasks);
+  EXPECT_EQ(r.tasks.size(), 200u);
+}
+
+TEST(SimEdgeTest, LateArrivalAfterIdlePeriod) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  TaskProfile a;
+  a.id = 1;
+  a.seq_time = 4.0;
+  a.total_ios = 40.0;
+  TaskProfile b = a;
+  b.id = 2;
+  b.arrival_time = 1000.0;
+  SchedulerOptions so;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, SimOptions());
+  SimResult r = sim.Run(&sched, {a, b});
+  EXPECT_NEAR(r.tasks.at(2).start_time, 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xprs

@@ -1,0 +1,206 @@
+// Tests for the spilling operators (external merge sort, grace hash join)
+// and their integration with the plan builders via ExecContext::spill.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/executor.h"
+#include "exec/fragment.h"
+#include "exec/spill_ops.h"
+#include "storage/catalog.h"
+#include "util/rng.h"
+
+namespace xprs {
+namespace {
+
+class SpillTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    array_ = std::make_unique<DiskArray>(4, DiskMode::kInstant);
+    catalog_ = std::make_unique<Catalog>(array_.get());
+    t_ = catalog_->CreateTable("t", Schema::PaperSchema()).value();
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(
+          t_->file()
+              .Append(Tuple({Value(static_cast<int32_t>(rng.NextInt(0, 399))),
+                             Value(std::string(30, 's'))}))
+              .ok());
+    }
+    ASSERT_TRUE(t_->file().Flush().ok());
+    ASSERT_TRUE(t_->ComputeStats().ok());
+
+    s_ = catalog_->CreateTable("s", Schema::PaperSchema()).value();
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(s_->file()
+                      .Append(Tuple({Value(int32_t{i % 400}),
+                                     Value(std::string(10, 'u'))}))
+                      .ok());
+    }
+    ASSERT_TRUE(s_->file().Flush().ok());
+    ASSERT_TRUE(s_->ComputeStats().ok());
+  }
+
+  SpillConfig Spilling(size_t memory_tuples) {
+    SpillConfig c;
+    c.temp_array = array_.get();
+    c.memory_tuples = memory_tuples;
+    return c;
+  }
+
+  static std::multiset<std::string> Normalize(const std::vector<Tuple>& rows) {
+    std::multiset<std::string> out;
+    for (const auto& t : rows) out.insert(t.ToString());
+    return out;
+  }
+
+  std::unique_ptr<DiskArray> array_;
+  std::unique_ptr<Catalog> catalog_;
+  Table* t_ = nullptr;
+  Table* s_ = nullptr;
+  ExecContext plain_;
+};
+
+TEST_F(SpillTest, ExternalSortMatchesInMemorySort) {
+  auto in_mem = [&] {
+    auto scan = std::make_unique<SeqScanOp>(t_, Predicate(), plain_);
+    SortOp sort(std::move(scan), 0);
+    return Drain(&sort).value();
+  }();
+
+  auto scan = std::make_unique<SeqScanOp>(t_, Predicate(), plain_);
+  ExternalSortOp sort(std::move(scan), 0, Spilling(128));
+  auto spilled = Drain(&sort);
+  ASSERT_TRUE(spilled.ok());
+  ASSERT_GT(sort.runs_spilled(), 4u);  // 2000 tuples / 128 per run
+
+  ASSERT_EQ(spilled->size(), in_mem.size());
+  for (size_t i = 0; i < in_mem.size(); ++i) {
+    EXPECT_EQ(std::get<int32_t>((*spilled)[i].value(0)),
+              std::get<int32_t>(in_mem[i].value(0)))
+        << "position " << i;
+  }
+}
+
+TEST_F(SpillTest, ExternalSortStaysInMemoryWhenInputFits) {
+  auto scan = std::make_unique<SeqScanOp>(t_, Predicate(), plain_);
+  ExternalSortOp sort(std::move(scan), 0, Spilling(100000));
+  auto rows = Drain(&sort);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(sort.runs_spilled(), 0u);
+  EXPECT_EQ(rows->size(), 2000u);
+}
+
+TEST_F(SpillTest, ExternalSortNoTempArrayNeverSpills) {
+  SpillConfig c;
+  c.memory_tuples = 8;
+  auto scan = std::make_unique<SeqScanOp>(t_, Predicate(), plain_);
+  ExternalSortOp sort(std::move(scan), 0, c);
+  auto rows = Drain(&sort);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(sort.runs_spilled(), 0u);
+}
+
+TEST_F(SpillTest, ExternalSortPaysTempIo) {
+  array_->ResetStats();
+  auto scan = std::make_unique<SeqScanOp>(t_, Predicate(), plain_);
+  ExternalSortOp sort(std::move(scan), 0, Spilling(128));
+  ASSERT_TRUE(Drain(&sort).ok());
+  // Merge re-reads every spilled run page over and above the base scan.
+  EXPECT_GT(array_->total_stats().reads, t_->file().num_pages());
+}
+
+TEST_F(SpillTest, GraceHashJoinMatchesInMemoryJoin) {
+  auto reference = [&] {
+    auto plan = MakeHashJoin(MakeSeqScan(t_, Predicate()),
+                             MakeSeqScan(s_, Predicate()), 0, 0);
+    return ExecutePlanSequential(*plan, plain_).value();
+  }();
+
+  auto outer = std::make_unique<SeqScanOp>(t_, Predicate(), plain_);
+  auto inner = std::make_unique<SeqScanOp>(s_, Predicate(), plain_);
+  GraceHashJoinOp join(std::move(outer), std::move(inner), 0, 0,
+                       Spilling(64), /*num_partitions=*/4);
+  auto rows = Drain(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(join.spilled());
+  EXPECT_EQ(Normalize(*rows), Normalize(reference));
+}
+
+TEST_F(SpillTest, GraceHashJoinStaysInMemoryWhenBuildFits) {
+  auto outer = std::make_unique<SeqScanOp>(t_, Predicate(), plain_);
+  auto inner = std::make_unique<SeqScanOp>(s_, Predicate(), plain_);
+  GraceHashJoinOp join(std::move(outer), std::move(inner), 0, 0,
+                       Spilling(100000));
+  auto rows = Drain(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FALSE(join.spilled());
+  EXPECT_FALSE(rows->empty());
+}
+
+TEST_F(SpillTest, BuilderUsesSpillingOpsWhenConfigured) {
+  ExecContext spilling;
+  spilling.spill = Spilling(64);
+
+  auto plan = MakeHashJoin(
+      MakeSort(MakeSeqScan(t_, Predicate::Between(0, 0, 200)), 0),
+      MakeSeqScan(s_, Predicate()), 0, 0);
+
+  auto expected = ExecutePlanSequential(*plan, plain_);
+  auto spilled = ExecutePlanSequential(*plan, spilling);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+  EXPECT_EQ(Normalize(*expected), Normalize(*spilled));
+}
+
+TEST_F(SpillTest, FragmentedExecutionWithSpill) {
+  ExecContext spilling;
+  spilling.spill = Spilling(64);
+
+  auto plan = MakeMergeJoin(MakeSort(MakeSeqScan(t_, Predicate()), 0),
+                            MakeSort(MakeSeqScan(s_, Predicate()), 0), 0, 0);
+  auto expected = ExecutePlanSequential(*plan, plain_);
+  auto spilled = ExecutePlanFragmented(*plan, spilling);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+  EXPECT_EQ(Normalize(*expected), Normalize(*spilled));
+}
+
+TEST_F(SpillTest, SpilledSortPropagatesIoError) {
+  auto scan = std::make_unique<SeqScanOp>(t_, Predicate(), plain_);
+  ExternalSortOp sort(std::move(scan), 0, Spilling(128));
+  array_->FailNextReads(1);
+  auto rows = Drain(&sort);
+  EXPECT_FALSE(rows.ok());
+  array_->FailNextReads(0);
+}
+
+TEST_F(SpillTest, GraceJoinWithDuplicatesAndNulls) {
+  Table* nulls = catalog_->CreateTable("nulls", Schema::PaperSchema()).value();
+  for (int i = 0; i < 300; ++i) {
+    Value key = (i % 10 == 0) ? Value(std::monostate{})
+                              : Value(int32_t{i % 5});
+    ASSERT_TRUE(
+        nulls->file().Append(Tuple({key, Value(std::string("n"))})).ok());
+  }
+  ASSERT_TRUE(nulls->file().Flush().ok());
+
+  auto reference = [&] {
+    auto plan = MakeHashJoin(MakeSeqScan(nulls, Predicate()),
+                             MakeSeqScan(nulls, Predicate()), 0, 0);
+    return ExecutePlanSequential(*plan, plain_).value();
+  }();
+
+  auto outer = std::make_unique<SeqScanOp>(nulls, Predicate(), plain_);
+  auto inner = std::make_unique<SeqScanOp>(nulls, Predicate(), plain_);
+  GraceHashJoinOp join(std::move(outer), std::move(inner), 0, 0,
+                       Spilling(32), 4);
+  auto rows = Drain(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(join.spilled());
+  EXPECT_EQ(rows->size(), reference.size());  // NULL keys join nothing
+}
+
+}  // namespace
+}  // namespace xprs

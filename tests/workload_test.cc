@@ -1,0 +1,149 @@
+// Tests for the §3 workload generator.
+
+#include <gtest/gtest.h>
+
+#include "sched/machine.h"
+#include "workload/tasks.h"
+
+namespace xprs {
+namespace {
+
+TEST(WorkloadTest, AllIoBoundRatesInBand) {
+  Rng rng(1);
+  WorkloadOptions o;
+  auto tasks = MakeWorkload(WorkloadKind::kAllIoBound, o, &rng);
+  ASSERT_EQ(tasks.size(), 10u);
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.io_rate(), 30.0);
+    EXPECT_LE(t.io_rate(), 60.0);
+    EXPECT_TRUE(IsIoBound(t, MachineConfig::PaperConfig()));
+  }
+}
+
+TEST(WorkloadTest, AllCpuBoundRatesInBand) {
+  Rng rng(2);
+  WorkloadOptions o;
+  auto tasks = MakeWorkload(WorkloadKind::kAllCpuBound, o, &rng);
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.io_rate(), 5.0);
+    EXPECT_LT(t.io_rate(), 30.0);
+    EXPECT_FALSE(IsIoBound(t, MachineConfig::PaperConfig()));
+    EXPECT_EQ(t.pattern, IoPattern::kSequential);
+  }
+}
+
+TEST(WorkloadTest, ExtremeMixIsHalfAndHalf) {
+  Rng rng(3);
+  WorkloadOptions o;
+  auto tasks = MakeWorkload(WorkloadKind::kExtremeMix, o, &rng);
+  int io = 0, cpu = 0;
+  for (const auto& t : tasks) {
+    double c = t.io_rate();
+    if (c >= 60.0 && c <= 70.0)
+      ++io;
+    else if (c >= 5.0 && c <= 15.0)
+      ++cpu;
+    else
+      FAIL() << "rate " << c << " outside both extreme bands";
+  }
+  EXPECT_EQ(io, 5);
+  EXPECT_EQ(cpu, 5);
+}
+
+TEST(WorkloadTest, RandomMixSpansWholeRange) {
+  Rng rng(4);
+  WorkloadOptions o;
+  o.num_tasks = 200;
+  auto tasks = MakeWorkload(WorkloadKind::kRandomMix, o, &rng);
+  bool saw_io = false, saw_cpu = false;
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.io_rate(), 5.0);
+    EXPECT_LE(t.io_rate(), 70.0);
+    saw_io |= t.io_rate() > 30.0;
+    saw_cpu |= t.io_rate() <= 30.0;
+  }
+  EXPECT_TRUE(saw_io);
+  EXPECT_TRUE(saw_cpu);
+}
+
+TEST(WorkloadTest, SeqTimesWithinConfiguredRange) {
+  Rng rng(5);
+  WorkloadOptions o;
+  o.min_seq_time = 2.0;
+  o.max_seq_time = 9.0;
+  o.num_tasks = 100;
+  for (const auto& t : MakeWorkload(WorkloadKind::kRandomMix, o, &rng)) {
+    EXPECT_GE(t.seq_time, 2.0);
+    EXPECT_LE(t.seq_time, 9.0);
+  }
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  WorkloadOptions o;
+  Rng a(77), b(77);
+  auto ta = MakeWorkload(WorkloadKind::kExtremeMix, o, &a);
+  auto tb = MakeWorkload(WorkloadKind::kExtremeMix, o, &b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta[i].seq_time, tb[i].seq_time);
+    EXPECT_DOUBLE_EQ(ta[i].total_ios, tb[i].total_ios);
+    EXPECT_EQ(ta[i].pattern, tb[i].pattern);
+  }
+}
+
+TEST(WorkloadTest, IdBaseOffsetsIds) {
+  Rng rng(6);
+  WorkloadOptions o;
+  auto tasks = MakeWorkload(WorkloadKind::kAllIoBound, o, &rng, 100);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(tasks[i].id, 100 + i);
+}
+
+TEST(WorkloadTest, CpuBoundTasksAreAlwaysSequential) {
+  Rng rng(8);
+  WorkloadOptions o;
+  o.num_tasks = 100;
+  o.index_scan_fraction = 1.0;  // io-bound tasks all random
+  for (const auto& t : MakeWorkload(WorkloadKind::kRandomMix, o, &rng)) {
+    if (t.io_rate() <= 30.0) {
+      EXPECT_EQ(t.pattern, IoPattern::kSequential);
+    }
+    if (t.io_rate() > 30.0) {
+      EXPECT_EQ(t.pattern, IoPattern::kRandom);
+    }
+  }
+}
+
+TEST(ArrivalSequenceTest, ArrivalsAreMonotonic) {
+  Rng rng(9);
+  WorkloadOptions o;
+  o.num_tasks = 50;
+  auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, o, 2.0, &rng);
+  double prev = -1.0;
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.arrival_time, prev);
+    prev = t.arrival_time;
+  }
+  EXPECT_DOUBLE_EQ(tasks.front().arrival_time, 0.0);
+}
+
+TEST(ArrivalSequenceTest, MeanGapRoughlyAsRequested) {
+  Rng rng(10);
+  WorkloadOptions o;
+  o.num_tasks = 2000;
+  auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, o, 3.0, &rng);
+  double last = tasks.back().arrival_time;
+  EXPECT_NEAR(last / (o.num_tasks - 1), 3.0, 0.5);
+}
+
+TEST(WorkloadTest, NamesMentionRateAndPattern) {
+  Rng rng(11);
+  WorkloadOptions o;
+  auto tasks = MakeWorkload(WorkloadKind::kAllCpuBound, o, &rng);
+  for (const auto& t : tasks) {
+    EXPECT_NE(t.name.find("io/s"), std::string::npos);
+    EXPECT_NE(t.name.find("seq"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xprs

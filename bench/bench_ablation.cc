@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_obs.h"
 #include "sched/scheduler.h"
 #include "sim/fluid_sim.h"
 #include "util/stats.h"
@@ -186,7 +187,7 @@ void TwoTasksSuffice(const MachineConfig& machine) {
       "same processors, which is why the paper stops at pairs.\n");
 }
 
-void Run() {
+void Run(BenchObs* bench_obs) {
   MachineConfig machine = MachineConfig::PaperConfig();
   std::printf("Design-choice ablations\n%s\n\n", machine.ToString().c_str());
   PairingRuleAblation(machine);
@@ -195,12 +196,28 @@ void Run() {
   SjfAblation(machine);
   CompositionSweep(machine);
   TwoTasksSuffice(machine);
+
+  // Representative traced run for --trace-out: the SJF arrival sequence
+  // exercises starts, adjustments and queueing in one trace.
+  {
+    Rng rng(4000);
+    WorkloadOptions wo;
+    auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, wo, 2.0, &rng);
+    SchedulerOptions so;
+    AdaptiveScheduler sched(machine, so);
+    sched.SetObservability(bench_obs->obs());
+    FluidSimulator sim(machine, SimOptions());
+    sim.SetObservability(bench_obs->obs());
+    sim.Run(&sched, tasks);
+  }
 }
 
 }  // namespace
 }  // namespace xprs
 
-int main() {
-  xprs::Run();
+int main(int argc, char** argv) {
+  xprs::BenchObs bench_obs(&argc, argv);
+  xprs::Run(&bench_obs);
+  bench_obs.Finish();
   return 0;
 }

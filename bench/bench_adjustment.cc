@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_obs.h"
 #include "parallel/page_partition.h"
 #include "parallel/range_partition.h"
 #include "sched/scheduler.h"
@@ -166,7 +167,7 @@ void LatencySweep() {
   std::printf("%s\n", table.ToString().c_str());
 }
 
-void Run() {
+void Run(BenchObs* bench_obs) {
   std::printf("Figures 5 & 6: dynamic parallelism adjustment protocols\n\n");
 
   std::printf("Figure 5 — page partitioning (maxpage rendezvous), real "
@@ -199,12 +200,30 @@ void Run() {
       "reading: the shared-memory rendezvous costs ~a page-service time\n"
       "(the paper's low-communication-delay argument); the sweep shows the\n"
       "Figure 7 gain is robust until latency approaches task lengths.\n");
+
+  // Representative traced run with the paper's default adjustment latency:
+  // the adjust instants in the trace line up with the rendezvous spans.
+  {
+    Rng rng(500);
+    WorkloadOptions wo;
+    auto tasks = MakeWorkload(WorkloadKind::kExtremeMix, wo, &rng);
+    MachineConfig machine = MachineConfig::PaperConfig();
+    SchedulerOptions sched_opts;
+    sched_opts.policy = SchedPolicy::kInterWithAdj;
+    AdaptiveScheduler sched(machine, sched_opts);
+    sched.SetObservability(bench_obs->obs());
+    FluidSimulator sim(machine, SimOptions());
+    sim.SetObservability(bench_obs->obs());
+    sim.Run(&sched, tasks);
+  }
 }
 
 }  // namespace
 }  // namespace xprs
 
-int main() {
-  xprs::Run();
+int main(int argc, char** argv) {
+  xprs::BenchObs bench_obs(&argc, argv);
+  xprs::Run(&bench_obs);
+  bench_obs.Finish();
   return 0;
 }

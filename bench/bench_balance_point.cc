@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_obs.h"
 #include "sched/balance.h"
 #include "sched/cost.h"
 #include "util/stats.h"
@@ -25,7 +26,7 @@ TaskProfile Task(TaskId id, double rate, IoPattern pattern) {
   return t;
 }
 
-void Run() {
+void Run(BenchObs* bench_obs) {
   MachineConfig m = MachineConfig::PaperConfig();
   std::printf("Figures 3 & 4: task classification and IO-CPU balance points\n");
   std::printf("%s\n\n", m.ToString().c_str());
@@ -74,7 +75,13 @@ void Run() {
         TaskProfile ti = Task(1, cio, pio);
         TaskProfile tj = Task(2, ccpu, IoPattern::kSequential);
         BalancePoint bp = SolveBalance(ti, tj, m, true);
+        bench_obs->metrics()->counter("balance.points_solved")->Increment();
         if (!bp.valid) continue;
+        bench_obs->metrics()->histogram("balance.xi", {1, 2, 3, 4, 5, 6, 7})
+            ->Observe(bp.xi);
+        bench_obs->obs().Emit(
+            {"balance point", "sched", 'i', 0.0, 0.0, 0,
+             {{"c_io", cio}, {"c_cpu", ccpu}, {"xi", bp.xi}, {"xj", bp.xj}}});
         InterCost ic = TInter(ti, tj, m, true);
         double serial = TIntra(ti, m) + TIntra(tj, m);
         fig4.AddRow({StrFormat("%.0f", cio), StrFormat("%.0f", ccpu),
@@ -97,7 +104,9 @@ void Run() {
 }  // namespace
 }  // namespace xprs
 
-int main() {
-  xprs::Run();
+int main(int argc, char** argv) {
+  xprs::BenchObs bench_obs(&argc, argv);
+  xprs::Run(&bench_obs);
+  bench_obs.Finish();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_obs.h"
 #include "sched/scheduler.h"
 #include "sim/fluid_sim.h"
 #include "util/check.h"
@@ -26,15 +27,18 @@ namespace {
 constexpr int kTrials = 25;
 
 double RunOne(const MachineConfig& machine, SchedPolicy policy,
-              const std::vector<TaskProfile>& tasks) {
+              const std::vector<TaskProfile>& tasks,
+              const Observability& obs = Observability()) {
   SchedulerOptions so;
   so.policy = policy;
   AdaptiveScheduler sched(machine, so);
+  sched.SetObservability(obs);
   FluidSimulator sim(machine, SimOptions());
+  sim.SetObservability(obs);
   return sim.Run(&sched, tasks).elapsed;
 }
 
-void Run() {
+void Run(BenchObs* bench_obs) {
   MachineConfig machine = MachineConfig::PaperConfig();
   std::printf("Figure 7: turnaround time (s) of scheduling algorithms\n");
   std::printf("%s\n", machine.ToString().c_str());
@@ -143,12 +147,24 @@ void Run() {
       "paper reference: ~parity on All CPU / All IO; INTER-WITH-ADJ up to\n"
       "~25%% faster than INTRA-ONLY on the mixed workloads;\n"
       "INTER-WITHOUT-ADJ at or below INTRA-ONLY.\n");
+
+  // Representative traced run: the first Extreme-mix draw under the full
+  // algorithm. The trace carries start / adjust / finish spans for all ten
+  // tasks; open the --trace-out file in chrome://tracing or Perfetto.
+  {
+    Rng trace_rng(1000);
+    WorkloadOptions wo;
+    auto tasks = MakeWorkload(WorkloadKind::kExtremeMix, wo, &trace_rng);
+    RunOne(machine, SchedPolicy::kInterWithAdj, tasks, bench_obs->obs());
+  }
 }
 
 }  // namespace
 }  // namespace xprs
 
-int main() {
-  xprs::Run();
+int main(int argc, char** argv) {
+  xprs::BenchObs bench_obs(&argc, argv);
+  xprs::Run(&bench_obs);
+  bench_obs.Finish();
   return 0;
 }

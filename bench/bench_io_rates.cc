@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_obs.h"
 #include "sched/machine.h"
 #include "util/stats.h"
 #include "util/str.h"
@@ -17,7 +18,7 @@
 namespace xprs {
 namespace {
 
-void Run() {
+void Run(BenchObs* bench_obs) {
   MachineConfig machine = MachineConfig::PaperConfig();
   std::printf("Section 3 calibration: disk bandwidths and task io rates\n");
   std::printf("%s\n\n", machine.ToString().c_str());
@@ -30,6 +31,7 @@ void Run() {
   std::printf("%s\n", disks.ToString().c_str());
 
   DiskArray array(machine.num_disks, DiskMode::kInstant);
+  array.AttachMetrics(bench_obs->metrics());
   Catalog catalog(&array);
   Rng rng(2024);
 
@@ -84,12 +86,15 @@ void Run() {
       "header is leaner than Postgres's (~10 vs ~40 bytes) — see\n"
       "EXPERIMENTS.md. Classification threshold B/N = %.0f io/s.\n",
       machine.io_cpu_threshold());
+  array.PublishMetrics();
 }
 
 }  // namespace
 }  // namespace xprs
 
-int main() {
-  xprs::Run();
+int main(int argc, char** argv) {
+  xprs::BenchObs bench_obs(&argc, argv);
+  xprs::Run(&bench_obs);
+  bench_obs.Finish();
   return 0;
 }

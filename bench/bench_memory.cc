@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_obs.h"
 #include "opt/two_phase.h"
 #include "sim/fluid_sim.h"
 #include "util/stats.h"
@@ -48,7 +49,7 @@ Db BuildDb() {
   return db;
 }
 
-void SchedulerSweep(const Db& db) {
+void SchedulerSweep(const Db& db, BenchObs* bench_obs) {
   std::printf("1. scheduler: hash-join batch vs shared memory budget\n");
   MachineConfig machine = MachineConfig::PaperConfig();
   CostModel model;
@@ -87,6 +88,11 @@ void SchedulerSweep(const Db& db) {
     so.memory_pages_limit = limit;
     AdaptiveScheduler sched(machine, so);
     FluidSimulator sim(machine, SimOptions());
+    if (factor == 1.0) {
+      // Traced representative run: the budget that forces serialization.
+      sched.SetObservability(bench_obs->obs());
+      sim.SetObservability(bench_obs->obs());
+    }
     SimResult r = sim.Run(&sched, all);
     table.AddRow({factor == 0.0 ? "unlimited"
                                 : StrFormat("%.0f (%.1fx largest table)",
@@ -185,12 +191,14 @@ void CombinedStudy(const Db& db) {
   std::printf("%s\n", table.ToString().c_str());
 }
 
-void Run() {
+void Run(BenchObs* bench_obs) {
   std::printf("Memory-constraint extension (paper §5 future work)\n\n");
   Db db = BuildDb();
-  SchedulerSweep(db);
+  db.array->AttachMetrics(bench_obs->metrics());
+  SchedulerSweep(db, bench_obs);
   OptimizerSweep(db);
   CombinedStudy(db);
+  db.array->PublishMetrics();
   std::printf(
       "reading: shrinking the shared budget serializes hash-table-holding\n"
       "fragments (elapsed rises, utilization falls); shrinking the plan\n"
@@ -201,7 +209,9 @@ void Run() {
 }  // namespace
 }  // namespace xprs
 
-int main() {
-  xprs::Run();
+int main(int argc, char** argv) {
+  xprs::BenchObs bench_obs(&argc, argv);
+  xprs::Run(&bench_obs);
+  bench_obs.Finish();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.h"
 #include "exec/executor.h"
 #include "opt/cost_model.h"
 #include "sched/cost.h"
@@ -170,4 +171,29 @@ BENCHMARK(BM_CostModelFourWayEstimate);
 }  // namespace
 }  // namespace xprs
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): BenchObs strips --trace-out
+// before google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  xprs::BenchObs bench_obs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Traced representative run so --trace-out yields a real schedule and the
+  // metrics line carries scheduler/simulator counters.
+  {
+    xprs::MachineConfig m = xprs::MachineConfig::PaperConfig();
+    xprs::Rng rng(5);
+    xprs::WorkloadOptions wo;
+    auto tasks = xprs::MakeWorkload(xprs::WorkloadKind::kExtremeMix, wo, &rng);
+    xprs::SchedulerOptions so;
+    xprs::AdaptiveScheduler sched(m, so);
+    sched.SetObservability(bench_obs.obs());
+    xprs::FluidSimulator sim(m, xprs::SimOptions());
+    sim.SetObservability(bench_obs.obs());
+    sim.Run(&sched, tasks);
+  }
+  bench_obs.Finish();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared --trace-out / metrics plumbing for the bench binaries.
+//
+// Usage:
+//   int main(int argc, char** argv) {
+//     xprs::BenchObs bench_obs(&argc, argv);   // strips --trace-out=<path>
+//     ... attach bench_obs.obs() to one representative run ...
+//     bench_obs.Finish();   // writes the Chrome trace, prints metrics JSON
+//   }
+//
+// The flag is stripped from argv so benches that parse their own flags —
+// and google-benchmark's Initialize — never see it. Every bench prints one
+// "metrics: {...}" JSON line whether or not tracing was requested, so the
+// counters are always scrapeable from bench output.
+
+#ifndef XPRS_BENCH_BENCH_OBS_H_
+#define XPRS_BENCH_BENCH_OBS_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace xprs {
+
+class BenchObs {
+ public:
+  BenchObs(int* argc, char** argv) {
+    static constexpr char kFlag[] = "--trace-out=";
+    const size_t flag_len = std::strlen(kFlag);
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strncmp(argv[i], kFlag, flag_len) == 0) {
+        trace_path_ = argv[i] + flag_len;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  /// The bundle to hand to the components of the traced run.
+  Observability obs() { return {&recorder_, &metrics_}; }
+  MetricsRegistry* metrics() { return &metrics_; }
+  TraceSink* trace() { return &recorder_; }
+  bool tracing_requested() const { return !trace_path_.empty(); }
+
+  /// Writes the trace file (if --trace-out was given) and prints the
+  /// metrics snapshot as one "metrics: {...}" line.
+  void Finish() {
+    if (!trace_path_.empty()) {
+      Status st = WriteChromeTrace(trace_path_, recorder_.snapshot());
+      if (st.ok()) {
+        std::printf("trace: wrote %s (%zu events, %zu dropped)\n",
+                    trace_path_.c_str(), recorder_.size(),
+                    recorder_.dropped());
+      } else {
+        std::fprintf(stderr, "trace: %s\n", st.ToString().c_str());
+      }
+    }
+    std::printf("metrics: %s\n", metrics_.DumpJson().c_str());
+  }
+
+ private:
+  std::string trace_path_;
+  MemoryTraceRecorder recorder_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_BENCH_BENCH_OBS_H_

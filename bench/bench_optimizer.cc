@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_obs.h"
 #include "opt/two_phase.h"
 #include "sim/fluid_sim.h"
 #include "util/stats.h"
@@ -104,7 +105,7 @@ void SingleUserStudy(const Database& db) {
   std::printf("%s\n", table.ToString().c_str());
 }
 
-void MultiUserStudy(const Database& db) {
+void MultiUserStudy(const Database& db, BenchObs* bench_obs) {
   MachineConfig machine = MachineConfig::PaperConfig();
   CostModel model;
   TwoPhaseOptimizer opt(machine, &model);
@@ -138,6 +139,11 @@ void MultiUserStudy(const Database& db) {
     so.policy = policy;
     AdaptiveScheduler sched(machine, so);
     FluidSimulator sim(machine, SimOptions());
+    if (policy == SchedPolicy::kInterWithAdj) {
+      // The traced representative run: cross-query fragment pairing.
+      sched.SetObservability(bench_obs->obs());
+      sim.SetObservability(bench_obs->obs());
+    }
     SimResult r = sim.Run(&sched, all);
     table.AddRow({SchedPolicyName(policy), StrFormat("%.2f", r.elapsed),
                   StrFormat("%.0f%%", r.cpu_utilization * 100),
@@ -185,12 +191,14 @@ void BatchStudy(const Database& db) {
   std::printf("%s\n", table.ToString().c_str());
 }
 
-void Run() {
+void Run(BenchObs* bench_obs) {
   std::printf("Section 4: optimization of bushy tree plans for parallelism\n\n");
   Database db = BuildDatabase();
+  db.array->AttachMetrics(bench_obs->metrics());
   SingleUserStudy(db);
-  MultiUserStudy(db);
+  MultiUserStudy(db, bench_obs);
   BatchStudy(db);
+  db.array->PublishMetrics();
   std::printf(
       "reading: parcost < seqcost everywhere (parallelism helps); the\n"
       "parcost-driven choice is never worse than two-phase left-deep and\n"
@@ -202,7 +210,9 @@ void Run() {
 }  // namespace
 }  // namespace xprs
 
-int main() {
-  xprs::Run();
+int main(int argc, char** argv) {
+  xprs::BenchObs bench_obs(&argc, argv);
+  xprs::Run(&bench_obs);
+  bench_obs.Finish();
   return 0;
 }

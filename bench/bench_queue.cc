@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_obs.h"
 #include "sched/scheduler.h"
 #include "sim/fluid_sim.h"
 #include "util/stats.h"
@@ -49,7 +50,7 @@ void RunPolicy(const MachineConfig& machine, SchedPolicy policy, bool sjf,
   }
 }
 
-void Run() {
+void Run(BenchObs* bench_obs) {
   MachineConfig machine = MachineConfig::PaperConfig();
   std::printf("Queue mode (§2.5): continuous Poisson arrivals, %d tasks, "
               "%d trials/cell\n%s\n\n",
@@ -96,12 +97,28 @@ void Run() {
       "in both response time and makespan; SJF trims response time further\n"
       "at no makespan cost. The queue representation is exactly the fixed-\n"
       "set algorithm — only S_io/S_cpu become queues (§2.5).\n");
+
+  // Representative traced run for --trace-out: heavy load, full algorithm.
+  {
+    Rng rng(3000);
+    WorkloadOptions wo;
+    wo.num_tasks = kTasks;
+    auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, wo, 0.75, &rng);
+    SchedulerOptions so;
+    AdaptiveScheduler sched(machine, so);
+    sched.SetObservability(bench_obs->obs());
+    FluidSimulator sim(machine, SimOptions());
+    sim.SetObservability(bench_obs->obs());
+    sim.Run(&sched, tasks);
+  }
 }
 
 }  // namespace
 }  // namespace xprs
 
-int main() {
-  xprs::Run();
+int main(int argc, char** argv) {
+  xprs::BenchObs bench_obs(&argc, argv);
+  xprs::Run(&bench_obs);
+  bench_obs.Finish();
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_obs.h"
 #include "sched/balance.h"
 #include "sim/fluid_sim.h"
 #include "util/stats.h"
@@ -31,7 +32,7 @@ double ElapsedAtParallelism(const MachineConfig& m, const SimOptions& so,
   return t.seq_time / speedup;
 }
 
-void Run() {
+void Run(BenchObs* bench_obs) {
   MachineConfig m = MachineConfig::PaperConfig();
   std::printf("[HONG91] premise: intra-operation speedup curves\n");
   std::printf("%s\n", m.ToString().c_str());
@@ -65,6 +66,12 @@ void Run() {
       t.total_ios = c.rate * 60.0;
       t.pattern = c.pattern;
       double elapsed = ElapsedAtParallelism(m, so, t, x);
+      bench_obs->metrics()->counter("speedup.points")->Increment();
+      bench_obs->obs().Emit({"speedup point", "sim", 'i',
+                             static_cast<double>(x), 0.0, 0,
+                             {{"curve", c.name},
+                              {"parallelism", x},
+                              {"speedup", 60.0 / elapsed}}});
       row.push_back(StrFormat("%.1fs (%.2fx)", elapsed, 60.0 / elapsed));
     }
     row.push_back(StrFormat("%dx", x));
@@ -95,7 +102,9 @@ void Run() {
 }  // namespace
 }  // namespace xprs
 
-int main() {
-  xprs::Run();
+int main(int argc, char** argv) {
+  xprs::BenchObs bench_obs(&argc, argv);
+  xprs::Run(&bench_obs);
+  bench_obs.Finish();
   return 0;
 }

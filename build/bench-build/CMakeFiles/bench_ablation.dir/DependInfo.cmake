@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/exec/CMakeFiles/xprs_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/xprs_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/xprs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/xprs_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

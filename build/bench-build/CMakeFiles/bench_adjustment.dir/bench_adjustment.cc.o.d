@@ -212,32 +212,33 @@ bench-build/CMakeFiles/bench_adjustment.dir/bench_adjustment.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/parallel/page_partition.h \
- /usr/include/c++/12/condition_variable \
+ /root/repo/bench/bench_obs.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/obs/obs.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/optional /root/repo/src/util/status.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/parallel/range_partition.h /root/repo/src/storage/btree.h \
- /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/storage/page.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/sched/scheduler.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sched/cost.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/obs/trace.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/optional \
+ /root/repo/src/parallel/page_partition.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/parallel/range_partition.h /root/repo/src/storage/btree.h \
+ /root/repo/src/storage/page.h /usr/include/c++/12/cstddef \
+ /root/repo/src/sched/scheduler.h /root/repo/src/sched/cost.h \
  /root/repo/src/sched/balance.h /root/repo/src/sched/machine.h \
  /root/repo/src/sched/task.h /root/repo/src/sched/env.h \
  /root/repo/src/sim/fluid_sim.h /root/repo/src/util/stats.h \

@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/storage/CMakeFiles/xprs_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/xprs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/xprs_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -216,8 +216,9 @@ src/exec/CMakeFiles/xprs_exec.dir/plan.cc.o: /root/repo/src/exec/plan.cc \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/storage/heap_file.h /root/repo/src/util/check.h \
- /root/repo/src/util/str.h /usr/include/c++/12/cstdarg \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /root/repo/src/storage/heap_file.h \
+ /root/repo/src/util/check.h /root/repo/src/util/str.h \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -218,9 +218,10 @@ src/opt/CMakeFiles/xprs_opt.dir/join_enum.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/storage/heap_file.h /root/repo/src/opt/cost_model.h \
- /root/repo/src/exec/fragment.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /root/repo/src/storage/heap_file.h \
+ /root/repo/src/opt/cost_model.h /root/repo/src/exec/fragment.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \

@@ -232,8 +232,9 @@ src/parallel/CMakeFiles/xprs_parallel.dir/fragment_run.cc.o: \
  /usr/include/c++/12/variant /root/repo/src/exec/plan.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/disk_array.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/storage/heap_file.h \
- /root/repo/src/storage/buffer_pool.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/trace.h \
+ /root/repo/src/storage/heap_file.h /root/repo/src/storage/buffer_pool.h \
  /root/repo/src/parallel/page_partition.h \
  /root/repo/src/parallel/range_partition.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -238,10 +238,11 @@ src/parallel/CMakeFiles/xprs_parallel.dir/master.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/storage/tuple.h \
  /usr/include/c++/12/variant /root/repo/src/exec/plan.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/disk_array.h \
- /root/repo/src/storage/heap_file.h /root/repo/src/storage/buffer_pool.h \
- /root/repo/src/sched/task.h /root/repo/src/sched/machine.h \
- /root/repo/src/parallel/fragment_run.h /usr/include/c++/12/thread \
- /root/repo/src/parallel/page_partition.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /root/repo/src/storage/heap_file.h \
+ /root/repo/src/storage/buffer_pool.h /root/repo/src/sched/task.h \
+ /root/repo/src/sched/machine.h /root/repo/src/parallel/fragment_run.h \
+ /usr/include/c++/12/thread /root/repo/src/parallel/page_partition.h \
  /root/repo/src/parallel/range_partition.h \
  /root/repo/src/sched/scheduler.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \

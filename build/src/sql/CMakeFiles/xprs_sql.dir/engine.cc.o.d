@@ -221,7 +221,8 @@ src/sql/CMakeFiles/xprs_sql.dir/engine.cc.o: /root/repo/src/sql/engine.cc \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/trace.h \
  /root/repo/src/storage/heap_file.h /root/repo/src/storage/buffer_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \

@@ -214,7 +214,8 @@ src/storage/CMakeFiles/xprs_storage.dir/catalog.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/trace.h \
  /root/repo/src/storage/heap_file.h /root/repo/src/storage/tuple.h \
  /usr/include/c++/12/variant /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \

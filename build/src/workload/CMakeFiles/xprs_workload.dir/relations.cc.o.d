@@ -217,10 +217,11 @@ src/workload/CMakeFiles/xprs_workload.dir/relations.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/storage/heap_file.h /root/repo/src/sched/task.h \
- /root/repo/src/sched/machine.h /root/repo/src/util/rng.h \
- /root/repo/src/util/check.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /root/repo/src/storage/heap_file.h \
+ /root/repo/src/sched/task.h /root/repo/src/sched/machine.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/check.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

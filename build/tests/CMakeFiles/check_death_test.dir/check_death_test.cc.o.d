@@ -293,9 +293,13 @@ tests/CMakeFiles/check_death_test.dir/check_death_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sched/scheduler.h /root/repo/src/sched/cost.h \
+ /root/repo/src/sched/scheduler.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/trace.h \
+ /root/repo/src/util/status.h /root/repo/src/sched/cost.h \
  /root/repo/src/sched/balance.h /root/repo/src/sched/machine.h \
  /root/repo/src/sched/task.h /root/repo/src/sched/env.h \
  /root/repo/src/sim/fluid_sim.h /root/repo/src/storage/page.h \
- /usr/include/c++/12/cstring /root/repo/src/util/status.h \
- /root/repo/src/util/check.h /root/repo/src/util/rng.h
+ /usr/include/c++/12/cstring /root/repo/src/util/check.h \
+ /root/repo/src/util/rng.h

@@ -315,6 +315,10 @@ tests/CMakeFiles/fluid_sim_test.dir/fluid_sim_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/sim/fluid_sim.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/trace.h /root/repo/src/util/status.h \
  /root/repo/src/sched/env.h /root/repo/src/sched/task.h \
  /root/repo/src/sched/machine.h /root/repo/src/sched/scheduler.h \
  /root/repo/src/sched/cost.h /root/repo/src/sched/balance.h \

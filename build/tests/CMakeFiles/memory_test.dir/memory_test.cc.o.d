@@ -293,6 +293,9 @@ tests/CMakeFiles/memory_test.dir/memory_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/opt/two_phase.h /root/repo/src/opt/join_enum.h \
  /root/repo/src/exec/plan.h /root/repo/src/exec/expr.h \
  /root/repo/src/storage/btree.h /root/repo/src/storage/page.h \
@@ -302,9 +305,10 @@ tests/CMakeFiles/memory_test.dir/memory_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/storage/heap_file.h /root/repo/src/opt/cost_model.h \
- /root/repo/src/exec/fragment.h /root/repo/src/exec/operators.h \
- /root/repo/src/storage/buffer_pool.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /root/repo/src/storage/heap_file.h \
+ /root/repo/src/opt/cost_model.h /root/repo/src/exec/fragment.h \
+ /root/repo/src/exec/operators.h /root/repo/src/storage/buffer_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

@@ -309,7 +309,9 @@ tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o: \
  /root/repo/src/exec/plan.h /root/repo/src/storage/catalog.h \
  /root/repo/src/storage/disk_array.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/storage/heap_file.h /root/repo/src/storage/buffer_pool.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /root/repo/src/storage/heap_file.h \
+ /root/repo/src/storage/buffer_pool.h \
  /usr/include/c++/12/condition_variable /root/repo/src/exec/fragment.h \
  /root/repo/src/parallel/fragment_run.h \
  /root/repo/src/parallel/page_partition.h \

@@ -301,7 +301,8 @@ tests/CMakeFiles/relations_test.dir/relations_test.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/trace.h \
  /root/repo/src/storage/heap_file.h /root/repo/src/sched/task.h \
  /root/repo/src/sched/machine.h /root/repo/src/util/rng.h \
  /root/repo/src/util/check.h

@@ -302,7 +302,8 @@ tests/CMakeFiles/sql_test.dir/sql_test.cc.o: /root/repo/tests/sql_test.cc \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/trace.h \
  /root/repo/src/storage/heap_file.h /root/repo/src/storage/buffer_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \

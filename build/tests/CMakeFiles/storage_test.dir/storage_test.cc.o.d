@@ -304,10 +304,11 @@ tests/CMakeFiles/storage_test.dir/storage_test.cc.o: \
  /root/repo/src/storage/buffer_pool.h \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /root/repo/src/util/status.h \
  /root/repo/src/storage/disk_array.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/storage/page.h /usr/include/c++/12/cstring \
- /root/repo/src/util/status.h /root/repo/src/storage/catalog.h \
- /root/repo/src/storage/btree.h /root/repo/src/storage/heap_file.h \
- /root/repo/src/storage/tuple.h /root/repo/src/util/rng.h \
- /root/repo/src/util/check.h
+ /root/repo/src/storage/catalog.h /root/repo/src/storage/btree.h \
+ /root/repo/src/storage/heap_file.h /root/repo/src/storage/tuple.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/check.h

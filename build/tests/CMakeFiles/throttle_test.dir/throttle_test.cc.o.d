@@ -304,6 +304,7 @@ tests/CMakeFiles/throttle_test.dir/throttle_test.cc.o: \
  /root/repo/src/storage/disk_array.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /root/repo/src/util/status.h \
  /root/repo/src/storage/page.h /usr/include/c++/12/cstring \
- /root/repo/src/util/status.h /root/repo/src/util/rng.h \
- /root/repo/src/util/check.h
+ /root/repo/src/util/rng.h /root/repo/src/util/check.h

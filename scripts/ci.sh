@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the default config, then rebuild and retest
+# under AddressSanitizer + UndefinedBehaviorSanitizer. The sanitizer pass
+# exists to catch the class of bugs this repo has been bitten by before:
+# out-of-range std::clamp (UB), data races on metric counters, and
+# use-after-free on handed-out trace/metric pointers.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-4}"
+
+echo "==> [1/2] default config"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "==> [2/2] asan+ubsan config"
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
+cmake --build build-asan -j "${JOBS}"
+# abort_on_error gives ctest a real failure exit code; detect_leaks stays on
+# by default where supported.
+ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "==> CI green"

@@ -1,0 +1,130 @@
+#include "obs/metrics.h"
+
+#include "util/str.h"
+
+namespace xprs {
+
+void Gauge::Set(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ = v;
+}
+
+void Gauge::Add(double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ += delta;
+}
+
+double Gauge::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return value_;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+void Histogram::Observe(double x) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t b = 0;
+  while (b < bounds_.size() && x > bounds_[b]) ++b;
+  ++buckets_[b];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_;
+}
+
+std::vector<double> MetricsRegistry::DefaultBounds() {
+  return {0.001, 0.01, 0.1, 1.0, 10.0, 100.0};
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":%llu", name.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":%.9g", name.c_str(), g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":{\"count\":%llu,\"sum\":%.9g,\"min\":%.9g,"
+                     "\"max\":%.9g,\"buckets\":[",
+                     name.c_str(),
+                     static_cast<unsigned long long>(h->count()), h->sum(),
+                     h->min(), h->max());
+    bool first_b = true;
+    for (uint64_t b : h->bucket_counts()) {
+      if (!first_b) out += ",";
+      first_b = false;
+      out += StrFormat("%llu", static_cast<unsigned long long>(b));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace xprs

@@ -1,0 +1,100 @@
+// MetricsRegistry: named counters, gauges and histograms shared by all
+// subsystems, with a JSON snapshot for bench output and diagnostics.
+//
+// Registered instruments live for the lifetime of the registry and their
+// pointers are stable, so producers resolve a metric once (at attach time)
+// and update it lock-free afterwards. Counters are monotonic atomics;
+// gauges and histograms take a short mutex — they sit on cold paths
+// (per scheduling event, per simulator interval), not per tuple.
+
+#ifndef XPRS_OBS_METRICS_H_
+#define XPRS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xprs {
+
+/// Monotonically increasing counter. Lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge with an accumulate helper (utilization integrals).
+class Gauge {
+ public:
+  void Set(double v);
+  void Add(double delta);
+  double value() const;
+
+ private:
+  mutable std::mutex mutex_;
+  double value_ = 0.0;
+};
+
+/// Fixed-boundary histogram: counts per bucket plus sum/min/max.
+/// A sample x lands in the first bucket with x <= bound; samples above the
+/// last bound land in the implicit overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double x);
+
+  uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  const std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Owns named instruments. Thread-safe; returned pointers stay valid for
+/// the registry's lifetime. Re-requesting a name returns the same
+/// instrument (histogram bounds are fixed by the first request).
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> bounds = DefaultBounds());
+
+  /// Seconds-scale buckets suitable for interval / latency observations.
+  static std::vector<double> DefaultBounds();
+
+  /// One-line-per-metric JSON snapshot, keys sorted by name:
+  ///   {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string DumpJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_OBS_METRICS_H_

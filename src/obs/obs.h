@@ -1,0 +1,34 @@
+// Observability: the nullable trace/metrics bundle components accept.
+//
+// Producers hold one of these by value; both pointers may be null (the
+// default), in which case publishing is a no-op. The bundle is deliberately
+// non-owning — bench harnesses and tests own the recorder/registry and hand
+// the same bundle to every component of a run so one trace file and one
+// metrics snapshot cover the scheduler, the simulator and the storage
+// layer together.
+
+#ifndef XPRS_OBS_OBS_H_
+#define XPRS_OBS_OBS_H_
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xprs {
+
+struct Observability {
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool tracing() const { return trace != nullptr; }
+
+  /// Records an event if a sink is attached.
+  void Emit(TraceEvent event) const {
+    if (trace != nullptr) trace->Record(std::move(event));
+  }
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_OBS_OBS_H_

@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/str.h"
+
+namespace xprs {
+
+namespace {
+
+// Formats a double as a JSON number. %.9g round-trips every value the
+// producers emit (timestamps in microseconds, io rates, parallelism) while
+// printing integers without a trailing ".0", which keeps golden files tidy.
+std::string JsonNumber(double v) { return StrFormat("%.9g", v); }
+
+}  // namespace
+
+std::string TraceValue::ToJson() const {
+  switch (kind) {
+    case Kind::kString:
+      return "\"" + JsonEscape(str) + "\"";
+    case Kind::kNumber:
+      return JsonNumber(num);
+    case Kind::kBool:
+      return boolean ? "true" : "false";
+  }
+  return "null";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+MemoryTraceRecorder::MemoryTraceRecorder(size_t capacity)
+    : capacity_(capacity) {}
+
+void MemoryTraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> MemoryTraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+size_t MemoryTraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+size_t MemoryTraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void MemoryTraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const TraceEvent& e : events) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->timestamp < b->timestamp;
+                   });
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent* e : ordered) {
+    if (!first) out += ",\n";
+    first = false;
+    out += StrFormat("{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\"",
+                     JsonEscape(e->name).c_str(),
+                     JsonEscape(e->category).c_str(), e->phase);
+    // Chrome traces use microsecond timestamps.
+    out += ",\"ts\":" + JsonNumber(e->timestamp * 1e6);
+    if (e->phase == 'X') out += ",\"dur\":" + JsonNumber(e->duration * 1e6);
+    out += StrFormat(",\"pid\":1,\"tid\":%lld",
+                     static_cast<long long>(e->track));
+    if (e->phase == 'i') out += ",\"s\":\"t\"";
+    if (!e->args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : e->args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"" + JsonEscape(key) + "\":" + value.ToJson();
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status::IoError("cannot open trace file " + path);
+  std::string json = ChromeTraceJson(events);
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0)
+    return Status::IoError("short write to trace file " + path);
+  return Status::OK();
+}
+
+}  // namespace xprs

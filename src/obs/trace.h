@@ -1,0 +1,107 @@
+// Structured event tracing shared by the scheduler, the fluid simulator,
+// the parallel master and the storage layer.
+//
+// Components publish TraceEvents through a TraceSink; the stock sink is a
+// lock-protected in-memory recorder whose snapshot can be exported as a
+// Chrome trace_event JSON file and opened in chrome://tracing or Perfetto.
+// Events use the Chrome phase vocabulary: 'B'/'E' span begin/end, 'X'
+// complete span, 'i' instant, 'C' counter. Tracks ("tid" in the export)
+// identify the entity an event belongs to — task id for scheduler/simulator
+// spans, disk index for storage counters.
+//
+// Tracing is strictly opt-in: every producer takes a nullable TraceSink*
+// and emits nothing when it is null, so the hot paths pay one pointer test
+// when tracing is off.
+
+#ifndef XPRS_OBS_TRACE_H_
+#define XPRS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xprs {
+
+/// A JSON-representable argument value attached to a TraceEvent.
+struct TraceValue {
+  enum class Kind { kString, kNumber, kBool };
+  Kind kind = Kind::kString;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+
+  TraceValue() = default;
+  TraceValue(const char* s) : kind(Kind::kString), str(s) {}  // NOLINT
+  TraceValue(std::string s) : kind(Kind::kString), str(std::move(s)) {}  // NOLINT
+  TraceValue(double v) : kind(Kind::kNumber), num(v) {}       // NOLINT
+  TraceValue(int v) : kind(Kind::kNumber), num(v) {}          // NOLINT
+  TraceValue(int64_t v)                                       // NOLINT
+      : kind(Kind::kNumber), num(static_cast<double>(v)) {}
+  TraceValue(bool v) : kind(Kind::kBool), boolean(v) {}       // NOLINT
+
+  /// Renders the value as a JSON literal (quoted and escaped for strings).
+  std::string ToJson() const;
+};
+
+/// One trace event, in the Chrome trace_event vocabulary.
+struct TraceEvent {
+  std::string name;
+  std::string category;    ///< "sched", "sim", "parallel", "storage", ...
+  char phase = 'i';        ///< 'B', 'E', 'X', 'i', 'C'
+  double timestamp = 0.0;  ///< seconds (exported as microseconds)
+  double duration = 0.0;   ///< seconds; only meaningful for phase 'X'
+  int64_t track = 0;       ///< exported as tid (task id, disk index, ...)
+  std::vector<std::pair<std::string, TraceValue>> args;
+};
+
+/// Destination for trace events. Implementations must be thread-safe: the
+/// parallel master and the buffer pool publish from concurrent threads.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Record(TraceEvent event) = 0;
+};
+
+/// Lock-protected in-memory recorder. Keeps insertion order (which makes
+/// exported traces deterministic for deterministic producers) and drops —
+/// counting the drops — once `capacity` events are held, so a runaway
+/// producer cannot exhaust memory.
+class MemoryTraceRecorder : public TraceSink {
+ public:
+  explicit MemoryTraceRecorder(size_t capacity = 1u << 20);
+
+  void Record(TraceEvent event) override;
+
+  /// Copy of all recorded events, in insertion order.
+  std::vector<TraceEvent> snapshot() const;
+  size_t size() const;
+  size_t dropped() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  size_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Renders events as a Chrome trace_event JSON document (one event per
+/// line). Events are stably sorted by timestamp, so ties keep insertion
+/// order and the output is byte-stable for a given event sequence.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Writes ChromeTraceJson(events) to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace xprs
+
+#endif  // XPRS_OBS_TRACE_H_

@@ -44,6 +44,16 @@ void ParallelMaster::StartTask(TaskId id, double parallelism) {
 
   task.run = std::make_unique<ParallelFragmentRun>(
       &query.graph, task.frag_id, std::move(inputs), run_options);
+  if (options_.obs.tracing()) {
+    options_.obs.Emit(
+        {StrFormat("frag q%lld/f%d", static_cast<long long>(query.job.query_id),
+                   task.frag_id),
+         "parallel", 'B', Now(), 0.0, id,
+         {{"parallelism", run_options.initial_parallelism},
+          {"seq_time_est", task.profile.seq_time}}});
+  }
+  if (options_.obs.metrics != nullptr)
+    options_.obs.metrics->counter("parallel.fragments_started")->Increment();
   task.run->set_on_finish([this, id] {
     {
       std::lock_guard<std::mutex> lock(done_mutex_);
@@ -57,7 +67,14 @@ void ParallelMaster::StartTask(TaskId id, double parallelism) {
 void ParallelMaster::AdjustParallelism(TaskId id, double parallelism) {
   TaskState& task = tasks_.at(id);
   XPRS_CHECK(task.run != nullptr);
-  task.run->Adjust(std::max(1, static_cast<int>(std::llround(parallelism))));
+  const int target = std::max(1, static_cast<int>(std::llround(parallelism)));
+  task.run->Adjust(target);
+  if (options_.obs.tracing()) {
+    options_.obs.Emit({"adjust", "parallel", 'i', Now(), 0.0, id,
+                       {{"parallelism", target}}});
+  }
+  if (options_.obs.metrics != nullptr)
+    options_.obs.metrics->counter("parallel.adjustments")->Increment();
 }
 
 double ParallelMaster::RemainingSeqTime(TaskId id) const {
@@ -100,6 +117,7 @@ StatusOr<MasterRunResult> ParallelMaster::Run(
 
   AdaptiveScheduler scheduler(machine_, options_.sched);
   scheduler.Bind(this);
+  scheduler.SetObservability(options_.obs);
   start_ = std::chrono::steady_clock::now();
   scheduler.SubmitBatch(all_profiles);
 
@@ -119,6 +137,17 @@ StatusOr<MasterRunResult> ParallelMaster::Run(
     task.result = std::move(temp).value();
     task.completed = true;
     result.task_finish_times[id] = Now();
+    if (options_.obs.tracing()) {
+      const QueryState& qs = queries_[task.query_index];
+      options_.obs.Emit(
+          {StrFormat("frag q%lld/f%d",
+                     static_cast<long long>(qs.job.query_id), task.frag_id),
+           "parallel", 'E', Now(), 0.0, id,
+           {{"tuples", static_cast<int64_t>(task.result.tuples.size())}}});
+    }
+    if (options_.obs.metrics != nullptr)
+      options_.obs.metrics->counter("parallel.fragments_completed")
+          ->Increment();
     ++completed;
     // The scheduler may immediately start or adjust other tasks here.
     scheduler.OnTaskFinished(id);

@@ -53,6 +53,9 @@ struct MasterOptions {
   ExecContext ctx;
   /// Upper bound on slave slots per fragment run.
   int max_slots = 16;
+  /// Trace/metrics publishing for the run (fragment spans, adjustment
+  /// events); also handed to the internal scheduler. Optional.
+  Observability obs;
 };
 
 /// The master backend. Not reusable across Run() calls concurrently.

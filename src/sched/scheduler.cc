@@ -40,6 +40,24 @@ void AdaptiveScheduler::Bind(ExecutionEnv* env) {
   env_ = env;
 }
 
+void AdaptiveScheduler::SetObservability(const Observability& obs) {
+  obs_ = obs;
+  if (obs_.metrics != nullptr) {
+    starts_counter_ = obs_.metrics->counter("sched.starts");
+    adjusts_counter_ = obs_.metrics->counter("sched.adjustments");
+    pair_starts_counter_ = obs_.metrics->counter("sched.pair_starts");
+    solo_starts_counter_ = obs_.metrics->counter("sched.solo_starts");
+    parallelism_hist_ = obs_.metrics->histogram(
+        "sched.parallelism", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0});
+  } else {
+    starts_counter_ = nullptr;
+    adjusts_counter_ = nullptr;
+    pair_starts_counter_ = nullptr;
+    solo_starts_counter_ = nullptr;
+    parallelism_hist_ = nullptr;
+  }
+}
+
 void AdaptiveScheduler::RegisterTask(const TaskProfile& task) {
   XPRS_CHECK(env_ != nullptr);
   XPRS_CHECK_GT(task.seq_time, 0.0);
@@ -279,6 +297,12 @@ double AdaptiveScheduler::RoundParallelism(double x) const {
   return std::clamp(rounded, 1.0, n);
 }
 
+double AdaptiveScheduler::ClampIssued(double x) const {
+  const double n = static_cast<double>(machine_.num_cpus);
+  const double floor = options_.integer_parallelism ? 1.0 : 1e-6;
+  return std::clamp(x, floor, n);
+}
+
 void AdaptiveScheduler::RemoveReady(TaskId id) {
   auto erase_from = [id](std::vector<TaskId>* v) {
     v->erase(std::remove(v->begin(), v->end(), id), v->end());
@@ -289,32 +313,93 @@ void AdaptiveScheduler::RemoveReady(TaskId id) {
 
 void AdaptiveScheduler::IssueStart(const TaskProfile& task,
                                    double parallelism, bool paired) {
+  parallelism = ClampIssued(parallelism);
   RemoveReady(task.id);
   running_[task.id] = Running{task, parallelism, paired};
   decisions_.push_back(
       {SchedDecision::Kind::kStart, env_->Now(), task.id, parallelism});
   XPRS_LOG(kDebug, "start task %lld (%s) x=%.2f",
            static_cast<long long>(task.id), task.name.c_str(), parallelism);
+  if (starts_counter_ != nullptr) {
+    starts_counter_->Increment();
+    (paired ? pair_starts_counter_ : solo_starts_counter_)->Increment();
+    parallelism_hist_->Observe(parallelism);
+  }
+  if (obs_.tracing()) {
+    obs_.Emit({"decide start", "sched", 'i', env_->Now(), 0.0, task.id,
+               {{"parallelism", parallelism},
+                {"paired", paired},
+                {"io_rate", task.io_rate()},
+                {"name", task.name}}});
+  }
   env_->StartTask(task.id, parallelism);
 }
 
 void AdaptiveScheduler::IssueAdjust(TaskId id, double parallelism) {
   auto it = running_.find(id);
   XPRS_CHECK(it != running_.end());
+  // Guard against solver edge cases (rounding, degenerate balance points):
+  // a started task must never be driven to parallelism 0 — that would
+  // starve a running survivor forever.
+  parallelism = ClampIssued(parallelism);
   it->second.parallelism = parallelism;
   ++num_adjustments_;
   decisions_.push_back(
       {SchedDecision::Kind::kAdjust, env_->Now(), id, parallelism});
   XPRS_LOG(kDebug, "adjust task %lld x=%.2f", static_cast<long long>(id),
            parallelism);
+  if (adjusts_counter_ != nullptr) {
+    adjusts_counter_->Increment();
+    parallelism_hist_->Observe(parallelism);
+  }
+  if (obs_.tracing()) {
+    obs_.Emit({"decide adjust", "sched", 'i', env_->Now(), 0.0, id,
+               {{"parallelism", parallelism}}});
+  }
   env_->AdjustParallelism(id, parallelism);
 }
 
+bool AdaptiveScheduler::OversizedWaiting() const {
+  return OldestOversized() >= 0;
+}
+
+TaskId AdaptiveScheduler::OldestOversized() const {
+  if (options_.memory_pages_limit <= 0.0) return -1;
+  TaskId best = -1;
+  auto consider = [&](TaskId id) {
+    const TaskProfile& p = all_.at(id);
+    if (p.memory_pages <= options_.memory_pages_limit + 1e-9) return;
+    if (best < 0 || p.arrival_time < all_.at(best).arrival_time ||
+        (p.arrival_time == all_.at(best).arrival_time && id < best))
+      best = id;
+  };
+  for (TaskId id : ready_io_) consider(id);
+  for (TaskId id : ready_cpu_) consider(id);
+  return best;
+}
+
 bool AdaptiveScheduler::StartFreshPair() {
+  // A task larger than the whole memory budget can only ever run alone.
+  // Run it now, while the machine is drained — otherwise re-pairing keeps
+  // the machine busy and the task starves behind every later pair.
+  TaskId oversized = OldestOversized();
+  if (oversized >= 0) {
+    const TaskProfile& p = all_.at(oversized);
+    IssueStart(p, RoundParallelism(MaxParallelism(p, machine_)),
+               /*paired=*/false);
+    return true;
+  }
+
   TaskId fi = PickMostIoBound();
   TaskId fj = PickMostCpuBound();
 
-  if (fi >= 0 && fj >= 0 && options_.max_concurrent >= 2) {
+  // Splitting processors between a pair needs at least two of them in
+  // integer mode: with N=1 the rounded split would starve one side at
+  // parallelism 0.
+  const bool can_split =
+      !options_.integer_parallelism || machine_.num_cpus >= 2;
+
+  if (fi >= 0 && fj >= 0 && options_.max_concurrent >= 2 && can_split) {
     const TaskProfile& pi = all_.at(fi);
     const TaskProfile& pj = all_.at(fj);
     // §5 extension: never overcommit working memory with a pair.
@@ -330,9 +415,9 @@ bool AdaptiveScheduler::StartFreshPair() {
       if (options_.integer_parallelism) {
         const int n = machine_.num_cpus;
         int xi_r = static_cast<int>(std::llround(xi));
-        xi_r = std::clamp(xi_r, 1, n - 1);
+        xi_r = std::clamp(xi_r, 1, std::max(1, n - 1));
         xi = xi_r;
-        xj = n - xi_r;
+        xj = std::max(1, n - xi_r);
       }
       IssueStart(pi, xi, /*paired=*/true);
       IssueStart(pj, xj, /*paired=*/true);
@@ -359,7 +444,13 @@ bool AdaptiveScheduler::RepairWithAdjustment() {
   auto& [rid, run] = *running_.begin();
   TaskProfile rem = RemainingProfile(run);
   const bool r_is_io = IsIoBound(run.profile, machine_);
-  TaskId partner = r_is_io ? PickMostCpuBound() : PickMostIoBound();
+  // While an oversized task waits, stop backfilling partners so the
+  // machine drains and the oversized task gets its solo slot.
+  const bool can_split =
+      !options_.integer_parallelism || machine_.num_cpus >= 2;
+  TaskId partner = -1;
+  if (can_split && !OversizedWaiting())
+    partner = r_is_io ? PickMostCpuBound() : PickMostIoBound();
 
   if (partner >= 0) {
     const TaskProfile& pp = all_.at(partner);
@@ -371,9 +462,9 @@ bool AdaptiveScheduler::RepairWithAdjustment() {
       if (options_.integer_parallelism) {
         const int n = machine_.num_cpus;
         int xr_r = static_cast<int>(std::llround(xr));
-        xr_r = std::clamp(xr_r, 1, n - 1);
+        xr_r = std::clamp(xr_r, 1, std::max(1, n - 1));
         xr = xr_r;
-        xp = n - xr_r;
+        xp = std::max(1, n - xr_r);
       }
       if (std::abs(xr - run.parallelism) > 1e-9) IssueAdjust(rid, xr);
       IssueStart(pp, xp, /*paired=*/true);
@@ -396,6 +487,9 @@ bool AdaptiveScheduler::FillWithoutAdjustment() {
   // path runs alone to completion (paper §3: INTER-WITHOUT-ADJ falls back
   // to one-at-a-time when no pairing is in flight).
   if (!run.paired) return false;
+  // Drain instead of backfilling while an oversized task waits (see
+  // RepairWithAdjustment).
+  if (OversizedWaiting()) return false;
   const double n = static_cast<double>(machine_.num_cpus);
   double avail = n - run.parallelism;
   if (options_.integer_parallelism) avail = std::floor(avail + 1e-9);

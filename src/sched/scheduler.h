@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sched/cost.h"
 #include "sched/env.h"
 #include "sched/machine.h"
@@ -100,6 +101,10 @@ class AdaptiveScheduler {
   /// Attaches the substrate. Must be called before Submit().
   void Bind(ExecutionEnv* env);
 
+  /// Attaches trace/metrics publishing. Optional; either pointer may be
+  /// null. Call before Submit() so the whole run is covered.
+  void SetObservability(const Observability& obs);
+
   /// Registers a task. It becomes runable once all its deps have finished
   /// (immediately if it has none) and may be started during this call.
   void Submit(const TaskProfile& task);
@@ -168,11 +173,23 @@ class AdaptiveScheduler {
   // Remaining sequential work of the query a task belongs to (SJF key).
   double QueryRemainingWork(int64_t query_id) const;
 
+  // True iff a ready task can never fit within memory_pages_limit at all
+  // (it must run alone). Such tasks would otherwise starve forever behind
+  // re-pairing under a continuous arrival stream.
+  bool OversizedWaiting() const;
+  // The waiting oversized task with the earliest arrival (ties: lowest id);
+  // -1 if none.
+  TaskId OldestOversized() const;
+
   // Command wrappers that round parallelism per options, update
   // bookkeeping and record decisions.
   void IssueStart(const TaskProfile& task, double parallelism, bool paired);
   void IssueAdjust(TaskId id, double parallelism);
   double RoundParallelism(double x) const;
+  // Final guard applied to every start/adjust: a started task always keeps
+  // parallelism >= 1 (integer mode) or > 0 (continuous mode), whatever the
+  // balance-point solver produced.
+  double ClampIssued(double x) const;
 
   // Removes `id` from the ready sets.
   void RemoveReady(TaskId id);
@@ -207,6 +224,13 @@ class AdaptiveScheduler {
   size_t num_adjustments_ = 0;
   std::vector<SchedDecision> decisions_;
   bool in_reschedule_ = false;
+
+  Observability obs_;
+  Counter* starts_counter_ = nullptr;       // sched.starts
+  Counter* adjusts_counter_ = nullptr;      // sched.adjustments
+  Counter* pair_starts_counter_ = nullptr;  // sched.pair_starts
+  Counter* solo_starts_counter_ = nullptr;  // sched.solo_starts
+  Histogram* parallelism_hist_ = nullptr;   // sched.parallelism
 };
 
 }  // namespace xprs

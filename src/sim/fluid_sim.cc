@@ -15,11 +15,13 @@ constexpr double kEps = 1e-9;
 }
 
 std::string SimResult::ToString() const {
-  return StrFormat(
+  std::string s = StrFormat(
       "SimResult{elapsed=%.3fs cpu=%.1f%% io=%.1f%% adj=%zu "
       "mean_resp=%.3fs tasks=%zu}",
       elapsed, cpu_utilization * 100.0, io_utilization * 100.0,
       num_adjustments, mean_response_time, tasks.size());
+  if (!status.ok()) s += " [" + status.ToString() + "]";
+  return s;
 }
 
 FluidSimulator::FluidSimulator(const MachineConfig& machine,
@@ -37,6 +39,12 @@ void FluidSimulator::StartTask(TaskId id, double parallelism) {
   a.start_time = now_;
   active_[id] = a;
   results_[id].start_time = now_;
+  if (obs_.tracing()) {
+    obs_.Emit({"task " + a.profile.name, "sim", 'B', now_, 0.0, id,
+               {{"parallelism", parallelism},
+                {"seq_time", a.profile.seq_time},
+                {"io_rate", a.profile.io_rate()}}});
+  }
 }
 
 void FluidSimulator::AdjustParallelism(TaskId id, double parallelism) {
@@ -49,6 +57,11 @@ void FluidSimulator::AdjustParallelism(TaskId id, double parallelism) {
   } else {
     it->second.pending_parallelism = parallelism;
     it->second.pending_apply_time = now_ + options_.adjust_latency;
+  }
+  if (obs_.tracing()) {
+    obs_.Emit({"adjust", "sim", 'i', now_, 0.0, id,
+               {{"parallelism", parallelism},
+                {"latency", options_.adjust_latency}}});
   }
 }
 
@@ -136,8 +149,6 @@ SimResult FluidSimulator::Run(AdaptiveScheduler* scheduler,
   double io_integral = 0.0;
 
   for (;;) {
-    XPRS_CHECK_MSG(now_ < options_.max_sim_time, "simulation ran away");
-
     // Deliver all arrivals due now as one batch so the scheduler's initial
     // pairing sees every simultaneously arriving task.
     if (next_arrival < arrivals.size() &&
@@ -159,6 +170,39 @@ SimResult FluidSimulator::Run(AdaptiveScheduler* scheduler,
       XPRS_CHECK_MSG(scheduler->NumPending() == 0,
                      "deadlock: pending tasks but nothing runable");
       break;
+    }
+
+    if (now_ >= options_.max_sim_time) {
+      // Runaway clock: the active tasks are not converging toward
+      // completion — a scheduler bug (e.g. a starved survivor at
+      // near-zero parallelism). Return a diagnosable error carrying the
+      // offending task set and the trailing schedule instead of crashing.
+      SimResult out;
+      std::string offenders;
+      for (const auto& [id, a] : active_) {
+        out.diagnostic_tasks.push_back(id);
+        offenders += StrFormat(
+            "%s task %lld (%s) x=%.3f remaining=%.3fs",
+            offenders.empty() ? "" : ",", static_cast<long long>(id),
+            a.profile.name.c_str(), a.parallelism,
+            std::max(0.0, a.profile.seq_time - a.work_done));
+      }
+      const size_t keep =
+          std::min(options_.diagnostic_trace_samples, trace_.size());
+      out.diagnostic_trace.assign(trace_.end() - keep, trace_.end());
+      out.status = Status::Aborted(StrFormat(
+          "simulation ran away: clock %.3fs exceeded max_sim_time %.3fs "
+          "with %zu task(s) unfinished:%s (last %zu trace samples "
+          "attached)",
+          now_, options_.max_sim_time, active_.size(), offenders.c_str(),
+          keep));
+      if (obs_.tracing()) {
+        obs_.Emit({"runaway abort", "sim", 'i', now_, 0.0, -1,
+                   {{"unfinished", static_cast<int64_t>(active_.size())}}});
+      }
+      Finalize(&out, cpu_time_integral, io_integral,
+               scheduler->num_adjustments(), /*aborted=*/true);
+      return out;
     }
 
     Rates rates = ComputeRates();
@@ -193,6 +237,19 @@ SimResult FluidSimulator::Run(AdaptiveScheduler* scheduler,
       trace_.push_back(std::move(sample));
       cpu_time_integral += rates.cpus_busy * dt;
       io_integral += rates.granted_io * dt;
+      if (obs_.tracing()) {
+        // Counter tracks render as stacked area charts in Perfetto; one
+        // sample per event boundary is enough for piecewise-constant rates.
+        obs_.Emit({"cpus busy", "sim", 'C', now_, 0.0, 0,
+                   {{"busy", rates.cpus_busy}}});
+        obs_.Emit({"io rate", "sim", 'C', now_, 0.0, 0,
+                   {{"granted", rates.granted_io},
+                    {"effective_bw", rates.effective_bw}}});
+      }
+      if (obs_.metrics != nullptr) {
+        obs_.metrics->counter("sim.events")->Increment();
+        obs_.metrics->histogram("sim.interval_seconds")->Observe(dt);
+      }
       size_t k = 0;
       for (auto& [id, a] : active_) {
         a.work_done += rates.per_task[k] * dt;
@@ -221,28 +278,54 @@ SimResult FluidSimulator::Run(AdaptiveScheduler* scheduler,
       SimTaskResult& tr = results_.at(id);
       tr.finish_time = now_;
       tr.ios_done = a.profile.total_ios;
+      if (obs_.tracing()) {
+        obs_.Emit({"task " + a.profile.name, "sim", 'E', now_, 0.0, id,
+                   {{"response", tr.response_time()}}});
+      }
       active_.erase(id);
       scheduler->OnTaskFinished(id);
     }
   }
 
   SimResult out;
-  out.elapsed = now_;
-  out.num_adjustments = scheduler->num_adjustments();
-  double resp_sum = 0.0;
-  for (const auto& [id, tr] : results_) {
-    XPRS_CHECK_MSG(tr.finish_time >= 0.0, "task never finished");
-    resp_sum += tr.response_time();
-    out.tasks[id] = tr;
-  }
-  out.mean_response_time =
-      results_.empty() ? 0.0 : resp_sum / static_cast<double>(results_.size());
-  if (now_ > 0.0) {
-    out.cpu_utilization =
-        cpu_time_integral / (now_ * static_cast<double>(machine_.num_cpus));
-    out.io_utilization = io_integral / (now_ * machine_.nominal_bandwidth());
-  }
+  Finalize(&out, cpu_time_integral, io_integral, scheduler->num_adjustments(),
+           /*aborted=*/false);
   return out;
+}
+
+void FluidSimulator::Finalize(SimResult* out, double cpu_time_integral,
+                              double io_integral, size_t num_adjustments,
+                              bool aborted) const {
+  out->elapsed = now_;
+  out->num_adjustments = num_adjustments;
+  double resp_sum = 0.0;
+  size_t finished = 0;
+  for (const auto& [id, tr] : results_) {
+    XPRS_CHECK_MSG(aborted || tr.finish_time >= 0.0, "task never finished");
+    if (tr.finish_time >= 0.0) {
+      resp_sum += tr.response_time();
+      ++finished;
+    }
+    out->tasks[id] = tr;
+  }
+  out->mean_response_time =
+      finished == 0 ? 0.0 : resp_sum / static_cast<double>(finished);
+  if (now_ > 0.0) {
+    out->cpu_utilization =
+        cpu_time_integral / (now_ * static_cast<double>(machine_.num_cpus));
+    out->io_utilization = io_integral / (now_ * machine_.nominal_bandwidth());
+  }
+  if (obs_.metrics != nullptr) {
+    MetricsRegistry& m = *obs_.metrics;
+    m.counter("sim.runs")->Increment();
+    if (aborted) m.counter("sim.runaway_aborts")->Increment();
+    m.gauge("sim.elapsed_seconds")->Set(out->elapsed);
+    m.gauge("sim.cpu_utilization")->Set(out->cpu_utilization);
+    m.gauge("sim.io_utilization")->Set(out->io_utilization);
+    m.gauge("sim.mean_response_seconds")->Set(out->mean_response_time);
+    m.gauge("sim.cpu_seconds_integral")->Set(cpu_time_integral);
+    m.gauge("sim.io_ops_integral")->Set(io_integral);
+  }
 }
 
 std::string RenderGantt(const std::vector<SimTraceSample>& trace,

@@ -21,10 +21,12 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sched/env.h"
 #include "sched/machine.h"
 #include "sched/scheduler.h"
 #include "sched/task.h"
+#include "util/status.h"
 
 namespace xprs {
 
@@ -47,6 +49,9 @@ struct SimOptions {
 
   /// Hard stop for the simulation clock (guards against scheduler bugs).
   double max_sim_time = 1e7;
+
+  /// Number of trailing trace samples attached to a runaway diagnostic.
+  size_t diagnostic_trace_samples = 32;
 };
 
 /// Per-task outcome.
@@ -60,23 +65,6 @@ struct SimTaskResult {
   double response_time() const { return finish_time - arrival_time; }
 };
 
-/// Whole-run outcome.
-struct SimResult {
-  /// Time the last task finished.
-  double elapsed = 0.0;
-  /// Time-averaged fraction of processors busy over [0, elapsed].
-  double cpu_utilization = 0.0;
-  /// Time-averaged io rate divided by the nominal bandwidth B.
-  double io_utilization = 0.0;
-  /// Dynamic adjustments issued by the scheduler.
-  size_t num_adjustments = 0;
-  /// Mean response time across tasks.
-  double mean_response_time = 0.0;
-  std::map<TaskId, SimTaskResult> tasks;
-
-  std::string ToString() const;
-};
-
 /// One sample of the utilization trace (taken at every event boundary).
 struct SimTraceSample {
   double time = 0.0;          ///< interval start
@@ -87,6 +75,37 @@ struct SimTraceSample {
   int tasks_running = 0;
   /// Per-task processor allocation during the interval.
   std::vector<std::pair<TaskId, double>> allocations;
+};
+
+/// Whole-run outcome.
+struct SimResult {
+  /// Non-OK when the run was aborted (e.g. the simulation clock ran past
+  /// SimOptions::max_sim_time, which indicates a scheduler bug). All other
+  /// fields then describe the partial run up to the abort; the diagnostic
+  /// fields below identify the offending tasks and the final schedule.
+  Status status;
+
+  /// Time the last task finished (or the abort time on error).
+  double elapsed = 0.0;
+  /// Time-averaged fraction of processors busy over [0, elapsed].
+  double cpu_utilization = 0.0;
+  /// Time-averaged io rate divided by the nominal bandwidth B.
+  double io_utilization = 0.0;
+  /// Dynamic adjustments issued by the scheduler.
+  size_t num_adjustments = 0;
+  /// Mean response time across finished tasks.
+  double mean_response_time = 0.0;
+  /// Per-task outcomes. On error, unfinished tasks have finish_time < 0.
+  std::map<TaskId, SimTaskResult> tasks;
+
+  /// On error: the tasks that were still running when the run aborted.
+  std::vector<TaskId> diagnostic_tasks;
+  /// On error: the last SimOptions::diagnostic_trace_samples utilization
+  /// samples before the abort — the schedule that led to the runaway.
+  std::vector<SimTraceSample> diagnostic_trace;
+
+  bool ok() const { return status.ok(); }
+  std::string ToString() const;
 };
 
 /// Renders a per-task ASCII Gantt chart of a finished run: one row per
@@ -110,7 +129,14 @@ class FluidSimulator : public ExecutionEnv {
   explicit FluidSimulator(const MachineConfig& machine,
                           const SimOptions& options = SimOptions());
 
-  /// Runs the given workload to completion under `scheduler`.
+  /// Attaches trace/metrics publishing (task spans, event boundaries,
+  /// utilization counters). Optional; call before Run().
+  void SetObservability(const Observability& obs) { obs_ = obs; }
+
+  /// Runs the given workload under `scheduler`. Returns a result whose
+  /// `status` is non-OK — with the offending task set and the trailing
+  /// utilization trace attached — instead of crashing when the simulation
+  /// clock runs away past SimOptions::max_sim_time.
   SimResult Run(AdaptiveScheduler* scheduler,
                 const std::vector<TaskProfile>& tasks);
 
@@ -144,8 +170,14 @@ class FluidSimulator : public ExecutionEnv {
   };
   Rates ComputeRates() const;
 
+  // Fills the aggregate fields of `out` from the run so far. `aborted`
+  // marks tasks unfinished-by-error rather than invariant violations.
+  void Finalize(SimResult* out, double cpu_time_integral, double io_integral,
+                size_t num_adjustments, bool aborted) const;
+
   MachineConfig machine_;
   SimOptions options_;
+  Observability obs_;
 
   double now_ = 0.0;
   std::map<TaskId, Active> active_;

@@ -62,6 +62,7 @@ StatusOr<size_t> BufferPool::FindOrClaimLocked(
       ++f.pins;
       f.ref_bit = true;
       ++stats_.hits;
+      if (hits_counter_ != nullptr) hits_counter_->Increment();
       *needs_load = false;
       return it->second;
     }
@@ -98,6 +99,7 @@ StatusOr<size_t> BufferPool::FindOrClaimLocked(
     f.pins = 1;
     table_[block] = victim;
     ++stats_.misses;
+    if (misses_counter_ != nullptr) misses_counter_->Increment();
     *needs_load = true;
     return victim;
   }
@@ -131,6 +133,26 @@ StatusOr<PageHandle> BufferPool::Fetch(BlockId block) {
     if (!st.ok()) return st;
   }
   return PageHandle(this, frame, &frames_[frame].page);
+}
+
+void BufferPool::AttachMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
+  if (metrics != nullptr) {
+    hits_counter_ = metrics->counter("bufferpool.hits");
+    misses_counter_ = metrics->counter("bufferpool.misses");
+  } else {
+    hits_counter_ = nullptr;
+    misses_counter_ = nullptr;
+  }
+}
+
+void BufferPool::PublishMetrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (metrics_ == nullptr) return;
+  metrics_->gauge("bufferpool.hit_rate")->Set(stats_.hit_rate());
+  metrics_->gauge("bufferpool.frames")
+      ->Set(static_cast<double>(frames_.size()));
 }
 
 BufferPoolStats BufferPool::stats() const {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "storage/disk_array.h"
 #include "storage/page.h"
 #include "util/status.h"
@@ -68,6 +69,14 @@ class BufferPool {
   /// Fails with ResourceExhausted when every frame is pinned.
   StatusOr<PageHandle> Fetch(BlockId block);
 
+  /// Publishes live hit/miss counters into `metrics` (bufferpool.hits /
+  /// bufferpool.misses). Call before handing the pool to workers.
+  void AttachMetrics(MetricsRegistry* metrics);
+
+  /// Writes the current hit rate and frame count gauges into the attached
+  /// registry (bufferpool.hit_rate, bufferpool.frames). No-op if detached.
+  void PublishMetrics() const;
+
   BufferPoolStats stats() const;
 
   std::string ToString() const;
@@ -98,6 +107,10 @@ class BufferPool {
   std::unordered_map<BlockId, size_t> table_;  // block -> frame
   size_t clock_hand_ = 0;
   BufferPoolStats stats_;
+
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* hits_counter_ = nullptr;    // bufferpool.hits
+  Counter* misses_counter_ = nullptr;  // bufferpool.misses
 };
 
 }  // namespace xprs

@@ -1,5 +1,6 @@
 #include "storage/disk_array.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -72,6 +73,11 @@ Status DiskArray::ReadBlock(BlockId block, Page* out) {
   disk.last_block = local;
   ++disk.stats.reads;
   disk.stats.busy_seconds += service;
+  // Everything beyond the sequential-read baseline is interference cost:
+  // time lost to seeks caused by out-of-order or competing streams.
+  disk.stats.interference_seconds +=
+      std::max(0.0, service - timings_.seq_read * timings_.time_scale);
+  if (disk.reads_counter != nullptr) disk.reads_counter->Increment();
 
   if (mode_ == DiskMode::kThrottled) {
     std::this_thread::sleep_for(std::chrono::duration<double>(service));
@@ -108,8 +114,39 @@ DiskStats DiskArray::total_stats() const {
     total.almost_seq_reads += s.almost_seq_reads;
     total.rand_reads += s.rand_reads;
     total.busy_seconds += s.busy_seconds;
+    total.interference_seconds += s.interference_seconds;
   }
   return total;
+}
+
+void DiskArray::AttachMetrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  for (int i = 0; i < num_disks_; ++i) {
+    std::lock_guard<std::mutex> lock(disks_[i]->mutex);
+    disks_[i]->reads_counter =
+        metrics == nullptr ? nullptr
+                           : metrics->counter(StrFormat("disk.%d.reads", i));
+  }
+}
+
+void DiskArray::PublishMetrics() const {
+  if (metrics_ == nullptr) return;
+  double total_interference = 0.0;
+  for (int i = 0; i < num_disks_; ++i) {
+    DiskStats s = stats(i);
+    metrics_->gauge(StrFormat("disk.%d.busy_seconds", i))
+        ->Set(s.busy_seconds);
+    metrics_->gauge(StrFormat("disk.%d.interference_seconds", i))
+        ->Set(s.interference_seconds);
+    metrics_->gauge(StrFormat("disk.%d.seq_reads", i))
+        ->Set(static_cast<double>(s.seq_reads));
+    metrics_->gauge(StrFormat("disk.%d.almost_seq_reads", i))
+        ->Set(static_cast<double>(s.almost_seq_reads));
+    metrics_->gauge(StrFormat("disk.%d.rand_reads", i))
+        ->Set(static_cast<double>(s.rand_reads));
+    total_interference += s.interference_seconds;
+  }
+  metrics_->gauge("disk.total_interference_seconds")->Set(total_interference);
 }
 
 void DiskArray::FailNextReads(int count) {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "storage/page.h"
 #include "util/status.h"
 
@@ -61,6 +62,10 @@ struct DiskStats {
   uint64_t almost_seq_reads = 0;
   uint64_t rand_reads = 0;
   double busy_seconds = 0.0;  ///< modeled service time accumulated
+  /// Service time paid *beyond* the strictly-sequential baseline — the
+  /// seek-interference throttling cost of §2.3 (reordered / random reads
+  /// caused by concurrent streams sharing the disk).
+  double interference_seconds = 0.0;
 };
 
 /// The striped disk array. Thread-safe.
@@ -98,6 +103,14 @@ class DiskArray {
   /// Zeroes all counters.
   void ResetStats();
 
+  /// Publishes live per-disk read counters (disk.<i>.reads) into `metrics`.
+  void AttachMetrics(MetricsRegistry* metrics);
+
+  /// Writes per-disk gauges (disk.<i>.busy_seconds,
+  /// disk.<i>.interference_seconds, read-class breakdown) into the attached
+  /// registry. No-op if detached.
+  void PublishMetrics() const;
+
   /// Fault injection for tests: the next `count` ReadBlock calls fail
   /// with IoError (decrementing per call). Thread-safe.
   void FailNextReads(int count);
@@ -112,6 +125,7 @@ class DiskArray {
     std::mutex mutex;          // serializes service on this disk
     int64_t last_block = -1;   // per-disk block index of the previous read
     DiskStats stats;
+    Counter* reads_counter = nullptr;  // disk.<i>.reads (live)
   };
 
   const int num_disks_;
@@ -123,6 +137,7 @@ class DiskArray {
   std::atomic<int> pending_faults_{0};
 
   std::vector<std::unique_ptr<DiskState>> disks_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace xprs

@@ -77,7 +77,9 @@ class Page {
     return reinterpret_cast<const Slot*>(bytes_ + sizeof(Header));
   }
 
-  uint8_t bytes_[kPageSize];
+  // Aligned so the Header/Slot reinterpret_casts above are well-defined
+  // even when a Page is embedded at an arbitrary offset in another object.
+  alignas(8) uint8_t bytes_[kPageSize];
 };
 
 static_assert(sizeof(Page) == kPageSize, "Page must be exactly one block");

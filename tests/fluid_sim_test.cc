@@ -302,5 +302,47 @@ TEST(PolicyComparisonTest, WithAdjWinsOnExtremeMix) {
   EXPECT_GT(gain.mean(), 0.10);
 }
 
+// Regression: a simulation whose clock overran max_sim_time used to abort
+// the whole process via XPRS_CHECK. It must now return a non-OK Status
+// carrying the offending task set and the last trace samples, so callers
+// can diagnose the runaway instead of losing the run.
+TEST(RunawayDiagnosticTest, OverrunReturnsStatusWithTraceContext) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  SimOptions so = NoLatency();
+  so.max_sim_time = 10.0;
+  so.diagnostic_trace_samples = 8;
+  FluidSimulator sim(m, so);
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kInterWithAdj));
+  // Task 1 needs far longer than max_sim_time; tasks 2.. arrive every
+  // second so the clock creeps past the limit while task 1 is still active.
+  std::vector<TaskProfile> tasks = {Task(1, 5.0, 1e6)};
+  for (TaskId i = 2; i <= 16; ++i)
+    tasks.push_back(Task(i, 60.0, 0.5, IoPattern::kSequential,
+                         /*arrival=*/static_cast<double>(i - 1)));
+  SimResult r = sim.Run(&sched, tasks);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kAborted);
+  EXPECT_NE(r.status.message().find("ran away"), std::string::npos)
+      << r.status.ToString();
+  // The offending task set names the never-finishing task.
+  bool names_task1 = false;
+  for (TaskId id : r.diagnostic_tasks) names_task1 |= id == 1;
+  EXPECT_TRUE(names_task1) << r.status.ToString();
+  // The last trace samples ride along, capped at the configured count.
+  EXPECT_FALSE(r.diagnostic_trace.empty());
+  EXPECT_LE(r.diagnostic_trace.size(), 8u);
+}
+
+TEST(RunawayDiagnosticTest, NormalRunHasOkStatus) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  FluidSimulator sim(m, NoLatency());
+  AdaptiveScheduler sched(m, Opts(SchedPolicy::kInterWithAdj));
+  SimResult r = sim.Run(&sched, {Task(1, 60.0, 10.0, IoPattern::kRandom),
+                                 Task(2, 8.0, 12.0)});
+  EXPECT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.diagnostic_tasks.empty());
+  EXPECT_TRUE(r.diagnostic_trace.empty());
+}
+
 }  // namespace
 }  // namespace xprs

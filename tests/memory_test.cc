@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "opt/two_phase.h"
 #include "sim/fluid_sim.h"
 #include "util/rng.h"
@@ -121,6 +123,40 @@ TEST(MemorySchedulingTest, TighterBudgetNeverFaster) {
     }
     prev = elapsed;
   }
+}
+
+// Regression: an oversized task (memory_pages above the whole budget) that
+// arrives into a continuous stream of fitting work used to starve forever.
+// SubmitBatch never offered it as a pairing candidate, and re-pairing on
+// each completion kept the machine permanently busy, so the "run it alone
+// when the machine drains" fallback never fired. The scheduler must now
+// pause backfilling, drain, and give the oversized task its solo slot.
+TEST(MemorySchedulingTest, OversizedTaskNotStarvedByArrivalStream) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  AdaptiveScheduler sched(m, WithLimit(100.0));
+  FluidSimulator sim(m, Ideal());
+  std::vector<TaskProfile> tasks;
+  // The oversized task arrives first and can never fit.
+  tasks.push_back(Task(99, 40.0, 4.0, 500.0));
+  // A stream of fitting io/cpu pairs with staggered arrivals keeps the
+  // machine busy via partner backfilling.
+  for (TaskId i = 0; i < 8; ++i) {
+    TaskProfile t = Task(i, i % 2 == 0 ? 60.0 : 8.0, 6.0, 30.0);
+    t.arrival_time = i < 2 ? 0.0 : 2.0 * static_cast<double>(i - 1);
+    tasks.push_back(t);
+  }
+  SimResult r = sim.Run(&sched, tasks);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  ASSERT_EQ(r.tasks.size(), 9u);
+  EXPECT_GT(r.tasks.at(99).finish_time, 0.0);
+  // The fix drains the machine and runs the oversized task before the tail
+  // of the arrival stream; the old scheduler started it dead last.
+  double last_fitting_start = 0.0;
+  for (TaskId i = 0; i < 8; ++i)
+    last_fitting_start =
+        std::max(last_fitting_start, r.tasks.at(i).start_time);
+  EXPECT_LT(r.tasks.at(99).start_time, last_fitting_start)
+      << "oversized task was starved behind the whole arrival stream";
 }
 
 // --------------------------------------------------- cost model memory

@@ -1,0 +1,379 @@
+// Tests of the xprs::obs observability layer: the Chrome trace_event
+// exporter (golden output + JSON validity), the in-memory recorder, the
+// metrics registry, and the end-to-end buffer-pool hit-rate metric checked
+// against hand-counted page accesses of a tiny heap scan.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace xprs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validity checker: verifies one complete JSON value spans the
+// whole input. Enough to guarantee Perfetto/chrome://tracing can parse the
+// export; not a general-purpose parser.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    pos_ = 0;
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Chrome trace exporter.
+
+TEST(ChromeTraceTest, GoldenExport) {
+  std::vector<TraceEvent> events;
+  events.push_back({"task scan_a", "sim", 'B', 0.5, 0.0, 7,
+                    {{"parallelism", 3}, {"io_rate", 62.5}}});
+  events.push_back({"adjust", "sched", 'i', 1.25, 0.0, 7,
+                    {{"parallelism", 5}, {"paired", true}}});
+  events.push_back({"task scan_a", "sim", 'E', 2.0, 0.0, 7, {}});
+  events.push_back({"window", "sim", 'X', 0.0, 2.0, 0, {}});
+
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"window\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":0,"
+      "\"dur\":2000000,\"pid\":1,\"tid\":0},\n"
+      "{\"name\":\"task scan_a\",\"cat\":\"sim\",\"ph\":\"B\",\"ts\":500000,"
+      "\"pid\":1,\"tid\":7,\"args\":{\"parallelism\":3,\"io_rate\":62.5}},\n"
+      "{\"name\":\"adjust\",\"cat\":\"sched\",\"ph\":\"i\",\"ts\":1250000,"
+      "\"pid\":1,\"tid\":7,\"s\":\"t\","
+      "\"args\":{\"parallelism\":5,\"paired\":true}},\n"
+      "{\"name\":\"task scan_a\",\"cat\":\"sim\",\"ph\":\"E\",\"ts\":2000000,"
+      "\"pid\":1,\"tid\":7}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+
+  EXPECT_EQ(ChromeTraceJson(events), expected);
+  EXPECT_TRUE(JsonChecker(ChromeTraceJson(events)).Valid());
+}
+
+TEST(ChromeTraceTest, SortIsStableByTimestamp) {
+  // Two events at the same timestamp keep insertion order; an earlier
+  // timestamp recorded later still sorts first.
+  std::vector<TraceEvent> events;
+  events.push_back({"second", "t", 'i', 5.0, 0.0, 0, {}});
+  events.push_back({"third", "t", 'i', 5.0, 0.0, 0, {}});
+  events.push_back({"first", "t", 'i', 1.0, 0.0, 0, {}});
+  std::string json = ChromeTraceJson(events);
+  size_t p1 = json.find("first");
+  size_t p2 = json.find("second");
+  size_t p3 = json.find("third");
+  ASSERT_NE(p1, std::string::npos);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+TEST(ChromeTraceTest, EscapesSpecialCharacters) {
+  std::vector<TraceEvent> events;
+  events.push_back({"quote\" and \\slash\n", "c\tat", 'i', 0.0, 0.0, 0,
+                    {{"msg", "a\"b"}}});
+  std::string json = ChromeTraceJson(events);
+  EXPECT_NE(json.find("quote\\\" and \\\\slash\\n"), std::string::npos);
+  EXPECT_NE(json.find("c\\tat"), std::string::npos);
+  EXPECT_NE(json.find("\"a\\\"b\""), std::string::npos);
+  EXPECT_TRUE(JsonChecker(json).Valid());
+}
+
+TEST(ChromeTraceTest, EmptyExportIsValidJson) {
+  std::string json = ChromeTraceJson({});
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(ChromeTraceTest, WriteChromeTraceRoundTrips) {
+  std::vector<TraceEvent> events;
+  events.push_back({"e", "c", 'i', 1.0, 0.0, 3, {{"k", 1}}});
+  std::string path = ::testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(path, events).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(content, ChromeTraceJson(events));
+}
+
+TEST(ChromeTraceTest, WriteToBadPathFails) {
+  EXPECT_EQ(WriteChromeTrace("/nonexistent-dir-xyz/trace.json", {}).code(),
+            StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Recorder.
+
+TEST(MemoryTraceRecorderTest, RecordsInOrderAndDropsPastCapacity) {
+  MemoryTraceRecorder rec(3);
+  for (int i = 0; i < 5; ++i)
+    rec.Record({"e" + std::to_string(i), "c", 'i', double(i), 0.0, 0, {}});
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "e0");
+  EXPECT_EQ(events[2].name, "e2");
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(MemoryTraceRecorderTest, ConcurrentRecordsAllLand) {
+  MemoryTraceRecorder rec;
+  constexpr int kThreads = 4, kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        rec.Record({"e", "c", 'i', double(t), 0.0, t, {}});
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.size(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(MetricsTest, CounterGaugeHistogramBasics) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("a.count");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_EQ(reg.counter("a.count"), c);  // same name -> same instrument
+
+  Gauge* g = reg.gauge("a.gauge");
+  g->Set(2.5);
+  g->Add(0.5);
+  EXPECT_DOUBLE_EQ(g->value(), 3.0);
+
+  Histogram* h = reg.histogram("a.hist", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 55.5);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 50.0);
+  EXPECT_EQ(h->bucket_counts(), (std::vector<uint64_t>{1, 1, 1}));
+}
+
+TEST(MetricsTest, DumpJsonIsValidAndSorted) {
+  MetricsRegistry reg;
+  reg.counter("z.last")->Increment();
+  reg.counter("a.first")->Increment(2);
+  reg.gauge("mid")->Set(1.5);
+  reg.histogram("h", {1.0})->Observe(0.5);
+  std::string json = reg.DumpJson();
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsTest, ObservabilityNullIsNoOp) {
+  Observability obs;  // both pointers null
+  EXPECT_FALSE(obs.tracing());
+  obs.Emit({"e", "c", 'i', 0.0, 0.0, 0, {}});  // must not crash
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: buffer-pool hit-rate metric vs hand-counted page accesses of
+// a tiny heap scan.
+
+TEST(MetricsTest, BufferPoolHitRateMatchesHandCount) {
+  DiskArray array(2, DiskMode::kInstant);
+  HeapFile file("tiny", Schema::PaperSchema(), &array);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        file.Append(Tuple({Value(int32_t{i}), Value(std::string(400, 'x'))}))
+            .ok());
+  }
+  ASSERT_TRUE(file.Flush().ok());
+  const uint32_t pages = file.num_pages();
+  ASSERT_GT(pages, 1u);
+
+  MetricsRegistry reg;
+  BufferPool pool(&array, /*num_frames=*/pages + 4);
+  pool.AttachMetrics(&reg);
+
+  // Scan the file twice through the pool. The pool holds every page, so by
+  // hand: first scan = `pages` misses, second scan = `pages` hits.
+  for (int scan = 0; scan < 2; ++scan) {
+    for (uint32_t p = 0; p < pages; ++p) {
+      auto block = file.BlockOf(p);
+      ASSERT_TRUE(block.ok());
+      auto h = pool.Fetch(block.value());
+      ASSERT_TRUE(h.ok());
+    }
+  }
+
+  EXPECT_EQ(reg.counter("bufferpool.hits")->value(), pages);
+  EXPECT_EQ(reg.counter("bufferpool.misses")->value(), pages);
+  pool.PublishMetrics();
+  EXPECT_DOUBLE_EQ(reg.gauge("bufferpool.hit_rate")->value(), 0.5);
+  // The registry counters agree with the pool's own stats.
+  EXPECT_EQ(pool.stats().hits, pages);
+  EXPECT_EQ(pool.stats().misses, pages);
+}
+
+TEST(MetricsTest, DiskArrayPerDiskCountersAndInterference) {
+  DiskArray array(2, DiskMode::kInstant);
+  MetricsRegistry reg;
+  array.AttachMetrics(&reg);
+  std::vector<BlockId> blocks;
+  for (int i = 0; i < 8; ++i) blocks.push_back(array.AllocateBlock());
+
+  Page page;
+  // Strictly sequential sweep: no interference accrues.
+  for (BlockId b : blocks) ASSERT_TRUE(array.ReadBlock(b, &page).ok());
+  EXPECT_EQ(reg.counter("disk.0.reads")->value(), 4u);
+  EXPECT_EQ(reg.counter("disk.1.reads")->value(), 4u);
+  EXPECT_DOUBLE_EQ(array.total_stats().interference_seconds, 0.0);
+
+  // A backward jump is a random read: interference = rand - seq service.
+  ASSERT_TRUE(array.ReadBlock(blocks[0], &page).ok());
+  DiskTimings timings;
+  EXPECT_NEAR(array.stats(0).interference_seconds,
+              timings.rand_read - timings.seq_read, 1e-12);
+  array.PublishMetrics();
+  EXPECT_GT(reg.gauge("disk.total_interference_seconds")->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace xprs

@@ -156,5 +156,88 @@ TEST(MachineConfigTest, SchedulerWorksOnAlternateGeometry) {
   for (const auto& s : sim.trace()) EXPECT_LE(s.cpus_busy, 4.0 + 1e-9);
 }
 
+// Regression: on a one-processor machine the integer balance-point split
+// used to clamp into an empty range (lo > hi is UB) and could hand a
+// running task parallelism n - xi = 0, which the simulator rejects with a
+// CHECK. Every issued decision must keep parallelism >= 1.
+TEST(IntegerRoundingRegressionTest, SingleCpuMachineNeverIssuesZero) {
+  MachineConfig m;
+  m.num_cpus = 1;
+  m.num_disks = 2;  // threshold = 120: both tasks CPU-bound? no — mix them
+  SchedulerOptions so;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, Ideal());
+  SimResult r = sim.Run(&sched, {Task(1, 115.0, 6.0), Task(2, 4.0, 6.0),
+                                 Task(3, 100.0, 4.0), Task(4, 2.0, 4.0)});
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.tasks.size(), 4u);
+  for (const SchedDecision& d : sched.decisions())
+    EXPECT_GE(d.parallelism, 1.0) << d.ToString();
+}
+
+// Regression: integer pairing on wider machines must also never drive a
+// started task to zero, whatever extreme rate ratios the solver sees.
+TEST(IntegerRoundingRegressionTest, ExtremeRatiosKeepParallelismPositive) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  for (double io_rate : {31.0, 69.9, 239.0}) {
+    for (double cpu_rate : {0.0, 0.1, 29.9}) {
+      SchedulerOptions so;
+      AdaptiveScheduler sched(m, so);
+      FluidSimulator sim(m, Ideal());
+      SimResult r = sim.Run(&sched, {Task(1, io_rate, 9.0),
+                                     Task(2, cpu_rate, 9.0),
+                                     Task(3, io_rate, 5.0),
+                                     Task(4, cpu_rate, 5.0)});
+      ASSERT_TRUE(r.ok()) << r.status.ToString();
+      for (const SchedDecision& d : sched.decisions())
+        EXPECT_GE(d.parallelism, 1.0)
+            << "io=" << io_rate << " cpu=" << cpu_rate << " " << d.ToString();
+    }
+  }
+}
+
+// The two-processor edge: the integer split xi + xj = 2 must give each
+// paired task exactly one processor, never 2 + 0.
+TEST(IntegerRoundingRegressionTest, TwoCpuPairSplitsOneAndOne) {
+  MachineConfig m;
+  m.num_cpus = 2;
+  m.num_disks = 4;  // threshold = 120
+  SchedulerOptions so;
+  AdaptiveScheduler sched(m, so);
+  FluidSimulator sim(m, Ideal());
+  SimResult r = sim.Run(&sched, {Task(1, 130.0, 8.0), Task(2, 5.0, 8.0)});
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  for (const SchedDecision& d : sched.decisions()) {
+    EXPECT_GE(d.parallelism, 1.0) << d.ToString();
+    EXPECT_LE(d.parallelism, 2.0) << d.ToString();
+  }
+}
+
+TEST(ObservabilityWiringTest, SchedulerPublishesCountersAndSpans) {
+  MachineConfig m = MachineConfig::PaperConfig();
+  MemoryTraceRecorder recorder;
+  MetricsRegistry metrics;
+  SchedulerOptions so;
+  AdaptiveScheduler sched(m, so);
+  sched.SetObservability({&recorder, &metrics});
+  FluidSimulator sim(m, Ideal());
+  sim.SetObservability({&recorder, &metrics});
+  SimResult r = sim.Run(&sched, {Task(1, 60.0, 8.0), Task(2, 8.0, 8.0),
+                                 Task(3, 55.0, 6.0)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(metrics.counter("sched.starts")->value(), 3u);
+  EXPECT_EQ(metrics.counter("sched.adjustments")->value(),
+            r.num_adjustments);
+  // Every task got a 'B' and an 'E' span in the sim category.
+  size_t begins = 0, ends = 0;
+  for (const TraceEvent& e : recorder.snapshot()) {
+    if (e.category != "sim") continue;
+    if (e.phase == 'B') ++begins;
+    if (e.phase == 'E') ++ends;
+  }
+  EXPECT_EQ(begins, 3u);
+  EXPECT_EQ(ends, 3u);
+}
+
 }  // namespace
 }  // namespace xprs

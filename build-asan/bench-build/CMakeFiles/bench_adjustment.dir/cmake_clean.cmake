@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adjustment"
+  "../bench/bench_adjustment.pdb"
+  "CMakeFiles/bench_adjustment.dir/bench_adjustment.cc.o"
+  "CMakeFiles/bench_adjustment.dir/bench_adjustment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adjustment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

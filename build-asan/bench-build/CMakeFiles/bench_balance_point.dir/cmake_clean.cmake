@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_balance_point"
+  "../bench/bench_balance_point.pdb"
+  "CMakeFiles/bench_balance_point.dir/bench_balance_point.cc.o"
+  "CMakeFiles/bench_balance_point.dir/bench_balance_point.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_balance_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_io_rates"
+  "../bench/bench_io_rates.pdb"
+  "CMakeFiles/bench_io_rates.dir/bench_io_rates.cc.o"
+  "CMakeFiles/bench_io_rates.dir/bench_io_rates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

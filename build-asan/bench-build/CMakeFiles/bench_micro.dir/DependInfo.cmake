@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench-build/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench-build/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/workload/CMakeFiles/xprs_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/opt/CMakeFiles/xprs_opt.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/parallel/CMakeFiles/xprs_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/xprs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sched/CMakeFiles/xprs_sched.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/exec/CMakeFiles/xprs_exec.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/xprs_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/xprs_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/xprs_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_optimizer"
+  "../bench/bench_optimizer.pdb"
+  "CMakeFiles/bench_optimizer.dir/bench_optimizer.cc.o"
+  "CMakeFiles/bench_optimizer.dir/bench_optimizer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

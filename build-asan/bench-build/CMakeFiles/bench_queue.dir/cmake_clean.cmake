@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_queue"
+  "../bench/bench_queue.pdb"
+  "CMakeFiles/bench_queue.dir/bench_queue.cc.o"
+  "CMakeFiles/bench_queue.dir/bench_queue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_speedup"
+  "../bench/bench_speedup.pdb"
+  "CMakeFiles/bench_speedup.dir/bench_speedup.cc.o"
+  "CMakeFiles/bench_speedup.dir/bench_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

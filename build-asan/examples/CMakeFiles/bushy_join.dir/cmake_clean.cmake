@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bushy_join.dir/bushy_join.cc.o"
+  "CMakeFiles/bushy_join.dir/bushy_join.cc.o.d"
+  "bushy_join"
+  "bushy_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bushy_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

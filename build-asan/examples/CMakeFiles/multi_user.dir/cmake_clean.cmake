@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_user.dir/multi_user.cc.o"
+  "CMakeFiles/multi_user.dir/multi_user.cc.o.d"
+  "multi_user"
+  "multi_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

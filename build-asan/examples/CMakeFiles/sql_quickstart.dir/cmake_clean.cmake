@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_quickstart.dir/sql_quickstart.cc.o"
+  "CMakeFiles/sql_quickstart.dir/sql_quickstart.cc.o.d"
+  "sql_quickstart"
+  "sql_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_shell.dir/xprs_shell.cc.o"
+  "CMakeFiles/xprs_shell.dir/xprs_shell.cc.o.d"
+  "xprs_shell"
+  "xprs_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

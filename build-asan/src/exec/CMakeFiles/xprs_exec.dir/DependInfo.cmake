@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/xprs_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/xprs_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/xprs_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/xprs_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/fragment.cc" "src/exec/CMakeFiles/xprs_exec.dir/fragment.cc.o" "gcc" "src/exec/CMakeFiles/xprs_exec.dir/fragment.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/xprs_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/xprs_exec.dir/operators.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/exec/CMakeFiles/xprs_exec.dir/plan.cc.o" "gcc" "src/exec/CMakeFiles/xprs_exec.dir/plan.cc.o.d"
+  "/root/repo/src/exec/spill_ops.cc" "src/exec/CMakeFiles/xprs_exec.dir/spill_ops.cc.o" "gcc" "src/exec/CMakeFiles/xprs_exec.dir/spill_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/storage/CMakeFiles/xprs_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/xprs_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/xprs_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

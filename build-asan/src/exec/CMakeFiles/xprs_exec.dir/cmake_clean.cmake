@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_exec.dir/executor.cc.o"
+  "CMakeFiles/xprs_exec.dir/executor.cc.o.d"
+  "CMakeFiles/xprs_exec.dir/expr.cc.o"
+  "CMakeFiles/xprs_exec.dir/expr.cc.o.d"
+  "CMakeFiles/xprs_exec.dir/fragment.cc.o"
+  "CMakeFiles/xprs_exec.dir/fragment.cc.o.d"
+  "CMakeFiles/xprs_exec.dir/operators.cc.o"
+  "CMakeFiles/xprs_exec.dir/operators.cc.o.d"
+  "CMakeFiles/xprs_exec.dir/plan.cc.o"
+  "CMakeFiles/xprs_exec.dir/plan.cc.o.d"
+  "CMakeFiles/xprs_exec.dir/spill_ops.cc.o"
+  "CMakeFiles/xprs_exec.dir/spill_ops.cc.o.d"
+  "libxprs_exec.a"
+  "libxprs_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

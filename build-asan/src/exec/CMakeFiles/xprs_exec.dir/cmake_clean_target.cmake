@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxprs_exec.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_obs.dir/metrics.cc.o"
+  "CMakeFiles/xprs_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/xprs_obs.dir/trace.cc.o"
+  "CMakeFiles/xprs_obs.dir/trace.cc.o.d"
+  "libxprs_obs.a"
+  "libxprs_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

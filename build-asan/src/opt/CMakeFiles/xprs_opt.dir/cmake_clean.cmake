@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_opt.dir/cost_model.cc.o"
+  "CMakeFiles/xprs_opt.dir/cost_model.cc.o.d"
+  "CMakeFiles/xprs_opt.dir/join_enum.cc.o"
+  "CMakeFiles/xprs_opt.dir/join_enum.cc.o.d"
+  "CMakeFiles/xprs_opt.dir/two_phase.cc.o"
+  "CMakeFiles/xprs_opt.dir/two_phase.cc.o.d"
+  "libxprs_opt.a"
+  "libxprs_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/driven_ops.cc" "src/parallel/CMakeFiles/xprs_parallel.dir/driven_ops.cc.o" "gcc" "src/parallel/CMakeFiles/xprs_parallel.dir/driven_ops.cc.o.d"
+  "/root/repo/src/parallel/fragment_run.cc" "src/parallel/CMakeFiles/xprs_parallel.dir/fragment_run.cc.o" "gcc" "src/parallel/CMakeFiles/xprs_parallel.dir/fragment_run.cc.o.d"
+  "/root/repo/src/parallel/master.cc" "src/parallel/CMakeFiles/xprs_parallel.dir/master.cc.o" "gcc" "src/parallel/CMakeFiles/xprs_parallel.dir/master.cc.o.d"
+  "/root/repo/src/parallel/page_partition.cc" "src/parallel/CMakeFiles/xprs_parallel.dir/page_partition.cc.o" "gcc" "src/parallel/CMakeFiles/xprs_parallel.dir/page_partition.cc.o.d"
+  "/root/repo/src/parallel/range_partition.cc" "src/parallel/CMakeFiles/xprs_parallel.dir/range_partition.cc.o" "gcc" "src/parallel/CMakeFiles/xprs_parallel.dir/range_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/opt/CMakeFiles/xprs_opt.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sched/CMakeFiles/xprs_sched.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/exec/CMakeFiles/xprs_exec.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/xprs_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/xprs_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/xprs_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/xprs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

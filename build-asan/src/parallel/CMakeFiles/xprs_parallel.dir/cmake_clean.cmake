@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_parallel.dir/driven_ops.cc.o"
+  "CMakeFiles/xprs_parallel.dir/driven_ops.cc.o.d"
+  "CMakeFiles/xprs_parallel.dir/fragment_run.cc.o"
+  "CMakeFiles/xprs_parallel.dir/fragment_run.cc.o.d"
+  "CMakeFiles/xprs_parallel.dir/master.cc.o"
+  "CMakeFiles/xprs_parallel.dir/master.cc.o.d"
+  "CMakeFiles/xprs_parallel.dir/page_partition.cc.o"
+  "CMakeFiles/xprs_parallel.dir/page_partition.cc.o.d"
+  "CMakeFiles/xprs_parallel.dir/range_partition.cc.o"
+  "CMakeFiles/xprs_parallel.dir/range_partition.cc.o.d"
+  "libxprs_parallel.a"
+  "libxprs_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/balance.cc" "src/sched/CMakeFiles/xprs_sched.dir/balance.cc.o" "gcc" "src/sched/CMakeFiles/xprs_sched.dir/balance.cc.o.d"
+  "/root/repo/src/sched/cost.cc" "src/sched/CMakeFiles/xprs_sched.dir/cost.cc.o" "gcc" "src/sched/CMakeFiles/xprs_sched.dir/cost.cc.o.d"
+  "/root/repo/src/sched/machine.cc" "src/sched/CMakeFiles/xprs_sched.dir/machine.cc.o" "gcc" "src/sched/CMakeFiles/xprs_sched.dir/machine.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/xprs_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/xprs_sched.dir/scheduler.cc.o.d"
+  "/root/repo/src/sched/task.cc" "src/sched/CMakeFiles/xprs_sched.dir/task.cc.o" "gcc" "src/sched/CMakeFiles/xprs_sched.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/obs/CMakeFiles/xprs_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/xprs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_sched.dir/balance.cc.o"
+  "CMakeFiles/xprs_sched.dir/balance.cc.o.d"
+  "CMakeFiles/xprs_sched.dir/cost.cc.o"
+  "CMakeFiles/xprs_sched.dir/cost.cc.o.d"
+  "CMakeFiles/xprs_sched.dir/machine.cc.o"
+  "CMakeFiles/xprs_sched.dir/machine.cc.o.d"
+  "CMakeFiles/xprs_sched.dir/scheduler.cc.o"
+  "CMakeFiles/xprs_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/xprs_sched.dir/task.cc.o"
+  "CMakeFiles/xprs_sched.dir/task.cc.o.d"
+  "libxprs_sched.a"
+  "libxprs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_sim.dir/fluid_sim.cc.o"
+  "CMakeFiles/xprs_sim.dir/fluid_sim.cc.o.d"
+  "libxprs_sim.a"
+  "libxprs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

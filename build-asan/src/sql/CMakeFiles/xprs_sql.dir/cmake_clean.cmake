@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_sql.dir/engine.cc.o"
+  "CMakeFiles/xprs_sql.dir/engine.cc.o.d"
+  "CMakeFiles/xprs_sql.dir/lexer.cc.o"
+  "CMakeFiles/xprs_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/xprs_sql.dir/parser.cc.o"
+  "CMakeFiles/xprs_sql.dir/parser.cc.o.d"
+  "libxprs_sql.a"
+  "libxprs_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/xprs_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/xprs_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/xprs_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/xprs_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/xprs_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/xprs_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/disk_array.cc" "src/storage/CMakeFiles/xprs_storage.dir/disk_array.cc.o" "gcc" "src/storage/CMakeFiles/xprs_storage.dir/disk_array.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/storage/CMakeFiles/xprs_storage.dir/heap_file.cc.o" "gcc" "src/storage/CMakeFiles/xprs_storage.dir/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/xprs_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/xprs_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/storage/CMakeFiles/xprs_storage.dir/tuple.cc.o" "gcc" "src/storage/CMakeFiles/xprs_storage.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/obs/CMakeFiles/xprs_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/xprs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_storage.dir/btree.cc.o"
+  "CMakeFiles/xprs_storage.dir/btree.cc.o.d"
+  "CMakeFiles/xprs_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/xprs_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/xprs_storage.dir/catalog.cc.o"
+  "CMakeFiles/xprs_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/xprs_storage.dir/disk_array.cc.o"
+  "CMakeFiles/xprs_storage.dir/disk_array.cc.o.d"
+  "CMakeFiles/xprs_storage.dir/heap_file.cc.o"
+  "CMakeFiles/xprs_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/xprs_storage.dir/page.cc.o"
+  "CMakeFiles/xprs_storage.dir/page.cc.o.d"
+  "CMakeFiles/xprs_storage.dir/tuple.cc.o"
+  "CMakeFiles/xprs_storage.dir/tuple.cc.o.d"
+  "libxprs_storage.a"
+  "libxprs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_util.dir/logging.cc.o"
+  "CMakeFiles/xprs_util.dir/logging.cc.o.d"
+  "CMakeFiles/xprs_util.dir/rng.cc.o"
+  "CMakeFiles/xprs_util.dir/rng.cc.o.d"
+  "CMakeFiles/xprs_util.dir/stats.cc.o"
+  "CMakeFiles/xprs_util.dir/stats.cc.o.d"
+  "CMakeFiles/xprs_util.dir/status.cc.o"
+  "CMakeFiles/xprs_util.dir/status.cc.o.d"
+  "CMakeFiles/xprs_util.dir/str.cc.o"
+  "CMakeFiles/xprs_util.dir/str.cc.o.d"
+  "libxprs_util.a"
+  "libxprs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xprs_workload.dir/relations.cc.o"
+  "CMakeFiles/xprs_workload.dir/relations.cc.o.d"
+  "CMakeFiles/xprs_workload.dir/tasks.cc.o"
+  "CMakeFiles/xprs_workload.dir/tasks.cc.o.d"
+  "libxprs_workload.a"
+  "libxprs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xprs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_opt_test.dir/batch_opt_test.cc.o"
+  "CMakeFiles/batch_opt_test.dir/batch_opt_test.cc.o.d"
+  "batch_opt_test"
+  "batch_opt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

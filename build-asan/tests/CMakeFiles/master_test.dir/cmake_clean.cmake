@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_test.dir/master_test.cc.o"
+  "CMakeFiles/master_test.dir/master_test.cc.o.d"
+  "master_test"
+  "master_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

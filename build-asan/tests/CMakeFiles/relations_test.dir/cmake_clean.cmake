@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relations_test.dir/relations_test.cc.o"
+  "CMakeFiles/relations_test.dir/relations_test.cc.o.d"
+  "relations_test"
+  "relations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

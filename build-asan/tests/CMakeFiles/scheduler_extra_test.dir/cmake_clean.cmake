@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_extra_test.dir/scheduler_extra_test.cc.o"
+  "CMakeFiles/scheduler_extra_test.dir/scheduler_extra_test.cc.o.d"
+  "scheduler_extra_test"
+  "scheduler_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

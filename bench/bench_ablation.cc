@@ -35,7 +35,7 @@ double MeanElapsed(const MachineConfig& machine, const SchedulerOptions& so,
                    WorkloadKind kind, const WorkloadOptions& wo) {
   RunningStat stat;
   for (int t = 0; t < kTrials; ++t) {
-    Rng rng(9000 + t);
+    Rng rng(TestSeed(9000 + t));
     auto tasks = MakeWorkload(kind, wo, &rng);
     stat.Add(RunWorkload(machine, so, SimOptions(), tasks).elapsed);
   }
@@ -108,7 +108,7 @@ void SjfAblation(const MachineConfig& machine) {
   RunningStat resp_fifo, resp_sjf, el_fifo, el_sjf;
   WorkloadOptions wo;
   for (int t = 0; t < kTrials; ++t) {
-    Rng rng(4000 + t);
+    Rng rng(TestSeed(4000 + t));
     auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, wo, 2.0, &rng);
     SchedulerOptions plain;
     SimResult a = RunWorkload(machine, plain, SimOptions(), tasks);
@@ -164,7 +164,7 @@ void TwoTasksSuffice(const MachineConfig& machine) {
     RunningStat cpu, io;
     int max_conc = 0;
     for (int t = 0; t < kTrials; ++t) {
-      Rng rng(7000 + t);
+      Rng rng(TestSeed(7000 + t));
       auto tasks = MakeWorkload(kind, wo, &rng);
       SchedulerOptions so;
       AdaptiveScheduler sched(machine, so);
@@ -200,7 +200,7 @@ void Run(BenchObs* bench_obs) {
   // Representative traced run for --trace-out: the SJF arrival sequence
   // exercises starts, adjustments and queueing in one trace.
   {
-    Rng rng(4000);
+    Rng rng(TestSeed(4000));
     WorkloadOptions wo;
     auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, wo, 2.0, &rng);
     SchedulerOptions so;

@@ -134,7 +134,7 @@ void LatencySweep() {
     RunningStat intra, with;
     size_t adjustments = 0;
     for (int trial = 0; trial < 20; ++trial) {
-      Rng rng(500 + trial);
+      Rng rng(TestSeed(500 + trial));
       WorkloadOptions wo;
       auto tasks = MakeWorkload(WorkloadKind::kExtremeMix, wo, &rng);
 
@@ -183,7 +183,7 @@ void Run(BenchObs* bench_obs) {
   std::printf("Figure 6 — range partitioning (interval redistribution), "
               "real threads:\n");
   BTreeIndex index;
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   constexpr int kEntries = 6000;
   for (int i = 0; i < kEntries; ++i)
     index.Insert(static_cast<int32_t>(rng.NextInt(0, 99999)),
@@ -204,7 +204,7 @@ void Run(BenchObs* bench_obs) {
   // Representative traced run with the paper's default adjustment latency:
   // the adjust instants in the trace line up with the rendezvous spans.
   {
-    Rng rng(500);
+    Rng rng(TestSeed(500));
     WorkloadOptions wo;
     auto tasks = MakeWorkload(WorkloadKind::kExtremeMix, wo, &rng);
     MachineConfig machine = MachineConfig::PaperConfig();

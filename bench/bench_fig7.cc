@@ -57,7 +57,7 @@ void Run(BenchObs* bench_obs) {
   for (WorkloadKind kind : kinds) {
     RunningStat stats[3];
     for (int trial = 0; trial < kTrials; ++trial) {
-      Rng rng(1000 + trial);
+      Rng rng(TestSeed(1000 + trial));
       WorkloadOptions wo;
       auto tasks = MakeWorkload(kind, wo, &rng);
       for (int p = 0; p < 3; ++p)
@@ -80,7 +80,7 @@ void Run(BenchObs* bench_obs) {
               "workload draw):\n");
   DiskArray array(machine.num_disks, DiskMode::kInstant);
   Catalog catalog(&array);
-  Rng rng(4242);
+  Rng rng(TestSeed(4242));
 
   TextTable phys({"Workload", "INTRA-ONLY", "INTER-W/O-ADJ", "INTER-W/-ADJ",
                   "with-adj gain"});

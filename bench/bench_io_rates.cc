@@ -33,7 +33,7 @@ void Run(BenchObs* bench_obs) {
   DiskArray array(machine.num_disks, DiskMode::kInstant);
   array.AttachMetrics(bench_obs->metrics());
   Catalog catalog(&array);
-  Rng rng(2024);
+  Rng rng(TestSeed(2024));
 
   TextTable rates({"task", "paper io rate", "measured io rate", "T (s)",
                    "D (pages)"});

@@ -37,7 +37,7 @@ Db BuildDb() {
   Db db;
   db.array = std::make_unique<DiskArray>(4, DiskMode::kInstant);
   db.catalog = std::make_unique<Catalog>(db.array.get());
-  Rng rng(31);
+  Rng rng(TestSeed(31));
   db.fat = BuildRelation(db.catalog.get(), "fat", 1500, 700, 400, &rng)
                .value();
   db.fat2 = BuildRelation(db.catalog.get(), "fat2", 1200, 700, 400, &rng)

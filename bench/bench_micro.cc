@@ -43,7 +43,7 @@ void BM_TupleSerializeRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_TupleSerializeRoundTrip);
 
 void BM_BTreeInsert(benchmark::State& state) {
-  Rng rng(1);
+  Rng rng(TestSeed(1));
   for (auto _ : state) {
     state.PauseTiming();
     BTreeIndex tree;
@@ -59,7 +59,7 @@ BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
 
 void BM_BTreeLookup(benchmark::State& state) {
   BTreeIndex tree;
-  Rng rng(2);
+  Rng rng(TestSeed(2));
   for (int i = 0; i < 100000; ++i)
     tree.Insert(static_cast<int32_t>(rng.NextInt(0, 1 << 20)),
                 TupleId{static_cast<uint32_t>(i), 0});
@@ -74,7 +74,7 @@ void BM_BufferPoolHit(benchmark::State& state) {
   DiskArray array(4, DiskMode::kInstant);
   for (int i = 0; i < 64; ++i) array.AllocateBlock();
   BufferPool pool(&array, 128);
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   for (auto _ : state) {
     auto h = pool.Fetch(static_cast<BlockId>(rng.NextUint64(64)));
     benchmark::DoNotOptimize(h.ok());
@@ -84,7 +84,7 @@ BENCHMARK(BM_BufferPoolHit);
 
 struct HashJoinFixture {
   HashJoinFixture() : array(4, DiskMode::kInstant), catalog(&array) {
-    Rng rng(4);
+    Rng rng(TestSeed(4));
     left = catalog.CreateTable("l", Schema::PaperSchema()).value();
     right = catalog.CreateTable("r", Schema::PaperSchema()).value();
     for (int i = 0; i < 5000; ++i) {
@@ -141,7 +141,7 @@ BENCHMARK(BM_BalancePointSolver);
 
 void BM_SchedulerFullWorkload(benchmark::State& state) {
   MachineConfig m = MachineConfig::PaperConfig();
-  Rng rng(5);
+  Rng rng(TestSeed(5));
   WorkloadOptions wo;
   auto tasks = MakeWorkload(WorkloadKind::kExtremeMix, wo, &rng);
   for (auto _ : state) {
@@ -184,7 +184,7 @@ int main(int argc, char** argv) {
   // metrics line carries scheduler/simulator counters.
   {
     xprs::MachineConfig m = xprs::MachineConfig::PaperConfig();
-    xprs::Rng rng(5);
+    xprs::Rng rng(xprs::TestSeed(5));
     xprs::WorkloadOptions wo;
     auto tasks = xprs::MakeWorkload(xprs::WorkloadKind::kExtremeMix, wo, &rng);
     xprs::SchedulerOptions so;

@@ -32,7 +32,7 @@ Database BuildDatabase() {
   Database db;
   db.array = std::make_unique<DiskArray>(4, DiskMode::kInstant);
   db.catalog = std::make_unique<Catalog>(db.array.get());
-  Rng rng(77);
+  Rng rng(TestSeed(77));
   struct Spec {
     const char* name;
     uint64_t tuples;

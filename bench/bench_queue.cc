@@ -32,7 +32,7 @@ struct RunStats {
 void RunPolicy(const MachineConfig& machine, SchedPolicy policy, bool sjf,
                double mean_gap, RunStats* stats) {
   for (int trial = 0; trial < kTrials; ++trial) {
-    Rng rng(3000 + trial);
+    Rng rng(TestSeed(3000 + trial));
     WorkloadOptions wo;
     wo.num_tasks = kTasks;
     auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, wo, mean_gap,
@@ -100,7 +100,7 @@ void Run(BenchObs* bench_obs) {
 
   // Representative traced run for --trace-out: heavy load, full algorithm.
   {
-    Rng rng(3000);
+    Rng rng(TestSeed(3000));
     WorkloadOptions wo;
     wo.num_tasks = kTasks;
     auto tasks = MakeArrivalSequence(WorkloadKind::kRandomMix, wo, 0.75, &rng);

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the default config, then rebuild and retest
-# under AddressSanitizer + UndefinedBehaviorSanitizer. The sanitizer pass
-# exists to catch the class of bugs this repo has been bitten by before:
-# out-of-range std::clamp (UB), data races on metric counters, and
-# use-after-free on handed-out trace/metric pointers.
+# CI entry point: build + run the tier1 test suite in the default config,
+# then rebuild under AddressSanitizer + UndefinedBehaviorSanitizer and run
+# everything — tier1 plus the slow randomized harnesses (the differential
+# stress driver). The sanitizer pass exists to catch the class of bugs this
+# repo has been bitten by before: out-of-range std::clamp (UB), data races
+# on metric counters, and use-after-free on handed-out trace/metric
+# pointers.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -11,20 +13,38 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-4}"
 
-echo "==> [1/2] default config"
+# Snapshot for the artifact-hygiene gate: anything *new* in git status
+# after the full build is a build artifact escaping the gitignored trees.
+STATUS_BEFORE="$(git status --porcelain)"
+
+echo "==> [1/3] default config (tier1)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "${JOBS}"
-ctest --test-dir build --output-on-failure -j "${JOBS}"
+ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [2/2] asan+ubsan config"
+echo "==> [2/3] asan+ubsan config (tier1 + slow)"
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
   -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
 cmake --build build-asan -j "${JOBS}"
 # abort_on_error gives ctest a real failure exit code; detect_leaks stays on
-# by default where supported.
+# by default where supported. No -L filter: this pass also runs the
+# slow-labeled stress_differential (50 iterations).
 ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "==> [3/3] artifact hygiene"
+# Build trees, object files and trace/metric dumps are gitignored; a full
+# build + test cycle must not add anything to git status. New entries are
+# build artifacts escaping into the source tree — fail loudly.
+STATUS_AFTER="$(git status --porcelain)"
+NEW_ARTIFACTS="$(comm -13 <(sort <<< "${STATUS_BEFORE}") \
+                          <(sort <<< "${STATUS_AFTER}"))"
+if [[ -n "${NEW_ARTIFACTS}" ]]; then
+  echo "ERROR: the build dirtied the checkout:" >&2
+  echo "${NEW_ARTIFACTS}" >&2
+  exit 1
+fi
 
 echo "==> CI green"

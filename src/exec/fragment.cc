@@ -110,6 +110,93 @@ std::string FragmentGraph::ToString() const {
 
 namespace {
 
+// Counts the plan nodes fragment `frag` owns: its pipeline from the root
+// down, stopping at (not counting) blocked inputs. Nodes under a blocked
+// input belong to the producing fragment.
+size_t CountOwnedNodes(const Fragment& frag, const PlanNode* node) {
+  if (node != frag.root && frag.blocked_inputs.count(node)) return 0;
+  size_t n = 1;
+  if (node->left) n += CountOwnedNodes(frag, node->left.get());
+  if (node->right) n += CountOwnedNodes(frag, node->right.get());
+  return n;
+}
+
+}  // namespace
+
+Status ValidateFragmentGraph(const FragmentGraph& graph,
+                             const PlanNode& plan) {
+  const auto& fragments = graph.fragments();
+  if (fragments.empty()) return Status::FailedPrecondition("no fragments");
+  int root = graph.root_fragment();
+  if (root < 0 || root >= static_cast<int>(fragments.size()))
+    return Status::FailedPrecondition("root fragment id out of range");
+  if (graph.fragment(root).root != &plan)
+    return Status::FailedPrecondition(
+        "root fragment is not rooted at the plan root");
+
+  size_t owned = 0;
+  for (const Fragment& frag : fragments) {
+    if (frag.root == nullptr)
+      return Status::FailedPrecondition(
+          StrFormat("fragment %d has no root", frag.id));
+    // Every blocked input maps to an in-range fragment rooted at exactly
+    // that node and listed among deps.
+    for (const auto& [node, child] : frag.blocked_inputs) {
+      if (child < 0 || child >= static_cast<int>(fragments.size()))
+        return Status::FailedPrecondition(
+            StrFormat("fragment %d: blocked input points to fragment %d",
+                      frag.id, child));
+      if (graph.fragment(child).root != node)
+        return Status::FailedPrecondition(
+            StrFormat("fragment %d: child fragment %d rooted elsewhere",
+                      frag.id, child));
+      if (std::find(frag.deps.begin(), frag.deps.end(), child) ==
+          frag.deps.end())
+        return Status::FailedPrecondition(
+            StrFormat("fragment %d: child %d missing from deps", frag.id,
+                      child));
+    }
+    if (frag.deps.size() != frag.blocked_inputs.size())
+      return Status::FailedPrecondition(
+          StrFormat("fragment %d: %zu deps vs %zu blocked inputs", frag.id,
+                    frag.deps.size(), frag.blocked_inputs.size()));
+    owned += CountOwnedNodes(frag, frag.root);
+  }
+  // Fragment accounting: pipelines partition the plan tree.
+  if (owned != PlanSize(plan))
+    return Status::FailedPrecondition(
+        StrFormat("fragments own %zu nodes, plan has %zu", owned,
+                  PlanSize(plan)));
+
+  // The topological order covers every fragment once, dependencies first.
+  std::vector<int> order = graph.TopologicalOrder();
+  if (order.size() != fragments.size())
+    return Status::FailedPrecondition("topological order size mismatch");
+  std::map<int, size_t> position;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (!position.emplace(order[i], i).second)
+      return Status::FailedPrecondition(
+          StrFormat("fragment %d appears twice in topological order",
+                    order[i]));
+  }
+  for (const Fragment& frag : fragments) {
+    auto self = position.find(frag.id);
+    if (self == position.end())
+      return Status::FailedPrecondition(
+          StrFormat("fragment %d missing from topological order", frag.id));
+    for (int dep : frag.deps) {
+      auto it = position.find(dep);
+      if (it == position.end() || it->second >= self->second)
+        return Status::FailedPrecondition(
+            StrFormat("fragment %d scheduled before its dep %d", frag.id,
+                      dep));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
 StatusOr<std::unique_ptr<Operator>> BuildFrag(
     const FragmentGraph& graph, const Fragment& frag, const PlanNode* node,
     const std::map<int, const TempResult*>& inputs, const ExecContext& ctx,

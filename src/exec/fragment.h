@@ -64,6 +64,15 @@ class FragmentGraph {
   int root_fragment_ = -1;
 };
 
+/// Structural invariants of a decomposition, asserted by the differential
+/// harness: the root fragment's root is the plan root; every blocked input
+/// maps to a fragment rooted at exactly that node and listed in deps; the
+/// topological order is a dependency-respecting permutation of all
+/// fragments; and the fragments' pipeline node sets partition the plan —
+/// each plan node is owned by exactly one fragment (fragment accounting).
+/// Returns FailedPrecondition describing the first violation.
+Status ValidateFragmentGraph(const FragmentGraph& graph, const PlanNode& plan);
+
 /// Executes one fragment with the given materialized inputs, optionally as
 /// one worker of a static page partition (worker `partition_index` of
 /// `num_partitions` over the fragment's driving scan).

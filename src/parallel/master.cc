@@ -156,6 +156,7 @@ StatusOr<MasterRunResult> ParallelMaster::Run(
 
   result.elapsed_seconds = Now();
   result.num_adjustments = scheduler.num_adjustments();
+  result.decisions = scheduler.decisions();
   for (auto& qs : queries_) {
     TaskId root = qs.task_ids[qs.graph.root_fragment()];
     result.query_results[qs.job.query_id] =

@@ -45,6 +45,9 @@ struct MasterRunResult {
   size_t num_adjustments = 0;
   /// Wall-clock finish time (seconds since run start) per task.
   std::map<TaskId, double> task_finish_times;
+  /// The scheduler's full decision log (starts and adjustments, in order);
+  /// the differential harness validates it with ValidateSchedDecisions.
+  std::vector<SchedDecision> decisions;
 };
 
 /// Master backend options.

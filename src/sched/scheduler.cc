@@ -28,6 +28,47 @@ std::string SchedDecision::ToString() const {
                    static_cast<long long>(task), parallelism);
 }
 
+Status ValidateSchedDecisions(const std::vector<SchedDecision>& decisions,
+                              const std::map<TaskId, double>* finish_times) {
+  // Wall-clock producers read the clock once per decision; allow the tiny
+  // skew between a decision's stamp and the recorded finish stamp.
+  constexpr double kTimeSlack = 1e-9;
+  std::set<TaskId> started;
+  double last_time = -std::numeric_limits<double>::infinity();
+  for (const SchedDecision& d : decisions) {
+    if (d.parallelism <= 0.0) {
+      return Status::FailedPrecondition(
+          StrFormat("non-positive parallelism: %s", d.ToString().c_str()));
+    }
+    if (d.time + kTimeSlack < last_time) {
+      return Status::FailedPrecondition(
+          StrFormat("time went backwards (last %.9f): %s", last_time,
+                    d.ToString().c_str()));
+    }
+    last_time = std::max(last_time, d.time);
+    if (d.kind == SchedDecision::Kind::kStart) {
+      if (!started.insert(d.task).second) {
+        return Status::FailedPrecondition(
+            StrFormat("task started twice: %s", d.ToString().c_str()));
+      }
+    } else {
+      if (started.find(d.task) == started.end()) {
+        return Status::FailedPrecondition(
+            StrFormat("adjust before start: %s", d.ToString().c_str()));
+      }
+      if (finish_times != nullptr) {
+        auto it = finish_times->find(d.task);
+        if (it != finish_times->end() && d.time > it->second + kTimeSlack) {
+          return Status::FailedPrecondition(
+              StrFormat("adjust after finish (%.9f): %s", it->second,
+                        d.ToString().c_str()));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
 AdaptiveScheduler::AdaptiveScheduler(const MachineConfig& machine,
                                      const SchedulerOptions& options)
     : machine_(machine), options_(options) {

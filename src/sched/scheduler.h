@@ -89,6 +89,19 @@ struct SchedDecision {
   std::string ToString() const;
 };
 
+/// Sanity-checks a decision log, optionally against per-task finish times
+/// (seconds since run start, as MasterRunResult records them). The §2.2
+/// fluid model treats parallelism as a pure time-rescaling knob — a task's
+/// io rate C_i and total io demand D_i are properties of the task — so a
+/// consistent log must (a) start every task at most once, (b) only adjust
+/// tasks that have started, (c) never issue a non-positive parallelism, and
+/// (d) keep timestamps non-decreasing. With finish times, adjustments must
+/// not target tasks that already finished. Returns FailedPrecondition
+/// naming the first offending decision otherwise.
+Status ValidateSchedDecisions(
+    const std::vector<SchedDecision>& decisions,
+    const std::map<TaskId, double>* finish_times = nullptr);
+
 /// The adaptive scheduler (§2.5). Event-driven: the substrate calls
 /// Submit() when a task arrives and OnTaskFinished() when one completes;
 /// the scheduler reacts by issuing StartTask / AdjustParallelism commands

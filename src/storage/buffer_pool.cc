@@ -106,6 +106,9 @@ StatusOr<size_t> BufferPool::FindOrClaimLocked(
 }
 
 StatusOr<PageHandle> BufferPool::Fetch(BlockId block) {
+  if (FaultInjector* inj = injector_.load(std::memory_order_acquire)) {
+    XPRS_RETURN_IF_ERROR(inj->BeforeFetch(block));
+  }
   bool needs_load = false;
   size_t frame;
   {
@@ -158,6 +161,25 @@ void BufferPool::PublishMetrics() const {
 BufferPoolStats BufferPool::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+void BufferPool::SetFaultInjector(FaultInjector* injector) {
+  injector_.store(injector, std::memory_order_release);
+}
+
+size_t BufferPool::PinnedFrames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t pinned = 0;
+  for (const Frame& f : frames_)
+    if (f.pins > 0) ++pinned;
+  return pinned;
+}
+
+uint64_t BufferPool::TotalPins() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const Frame& f : frames_) total += static_cast<uint64_t>(f.pins);
+  return total;
 }
 
 std::string BufferPool::ToString() const {

@@ -9,6 +9,7 @@
 #ifndef XPRS_STORAGE_BUFFER_POOL_H_
 #define XPRS_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -79,6 +80,18 @@ class BufferPool {
 
   BufferPoolStats stats() const;
 
+  /// Installs a fault-injection hook consulted at the top of every Fetch
+  /// (nullptr detaches). Thread-safe with concurrent fetches.
+  void SetFaultInjector(FaultInjector* injector);
+
+  /// Number of frames currently pinned (pins > 0). The differential
+  /// harness asserts this returns to zero after every run — a leaked pin
+  /// means some error path skipped an unpin.
+  size_t PinnedFrames() const;
+
+  /// Sum of pin counts over all frames.
+  uint64_t TotalPins() const;
+
   std::string ToString() const;
 
  private:
@@ -111,6 +124,8 @@ class BufferPool {
   MetricsRegistry* metrics_ = nullptr;
   Counter* hits_counter_ = nullptr;    // bufferpool.hits
   Counter* misses_counter_ = nullptr;  // bufferpool.misses
+
+  std::atomic<FaultInjector*> injector_{nullptr};
 };
 
 }  // namespace xprs

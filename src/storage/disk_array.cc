@@ -39,6 +39,9 @@ Status DiskArray::ReadBlock(BlockId block, Page* out) {
           StrFormat("injected read fault on block %u", block));
     }
   }
+  if (FaultInjector* inj = injector_.load(std::memory_order_acquire)) {
+    XPRS_RETURN_IF_ERROR(inj->BeforeRead(block));
+  }
   {
     std::lock_guard<std::mutex> lock(blocks_mutex_);
     if (block >= blocks_.size())
@@ -90,12 +93,20 @@ Status DiskArray::ReadBlock(BlockId block, Page* out) {
 }
 
 Status DiskArray::WriteBlock(BlockId block, const Page& in) {
+  Status fault = Status::OK();
+  size_t bytes = kPageSize;
+  if (FaultInjector* inj = injector_.load(std::memory_order_acquire)) {
+    fault = inj->BeforeWrite(block, &bytes);
+  }
   std::lock_guard<std::mutex> lock(blocks_mutex_);
   if (block >= blocks_.size())
     return Status::OutOfRange(StrFormat("block %u of %zu", block,
                                         blocks_.size()));
-  std::memcpy(blocks_[block].raw(), in.raw(), kPageSize);
-  return Status::OK();
+  // A failing write still lands its torn prefix on media, as a real torn
+  // write would; a clean write copies the whole page.
+  std::memcpy(blocks_[block].raw(), in.raw(),
+              fault.ok() ? kPageSize : std::min(bytes, kPageSize));
+  return fault;
 }
 
 DiskStats DiskArray::stats(int disk) const {
@@ -156,6 +167,10 @@ void DiskArray::FailNextReads(int count) {
 
 int DiskArray::pending_faults() const {
   return pending_faults_.load(std::memory_order_relaxed);
+}
+
+void DiskArray::SetFaultInjector(FaultInjector* injector) {
+  injector_.store(injector, std::memory_order_release);
 }
 
 void DiskArray::ResetStats() {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 #include "util/status.h"
 
@@ -118,6 +119,11 @@ class DiskArray {
   /// Remaining injected read faults.
   int pending_faults() const;
 
+  /// Installs a fault-injection hook consulted on every read and write
+  /// (nullptr detaches). The injector must outlive its installation.
+  /// Thread-safe with concurrent IO.
+  void SetFaultInjector(FaultInjector* injector);
+
   std::string ToString() const;
 
  private:
@@ -135,6 +141,7 @@ class DiskArray {
   mutable std::mutex blocks_mutex_;  // guards allocation / deque growth
   std::deque<Page> blocks_;          // deque: growth keeps references stable
   std::atomic<int> pending_faults_{0};
+  std::atomic<FaultInjector*> injector_{nullptr};
 
   std::vector<std::unique_ptr<DiskState>> disks_;
   MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,80 @@
+#include "storage/fault_injector.h"
+
+#include "util/str.h"
+
+namespace xprs {
+
+void ScriptedFaultInjector::Arm(const Script& script, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  script_ = script;
+  rng_.Seed(seed);
+  reads_ = writes_ = fetches_ = 0;
+}
+
+uint64_t ScriptedFaultInjector::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+uint64_t ScriptedFaultInjector::reads_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reads_;
+}
+
+uint64_t ScriptedFaultInjector::writes_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writes_;
+}
+
+uint64_t ScriptedFaultInjector::fetches_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fetches_;
+}
+
+Status ScriptedFaultInjector::BeforeRead(BlockId block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++reads_;
+  if (script_.fail_nth_read != 0 && reads_ == script_.fail_nth_read) {
+    script_.fail_nth_read = 0;  // transient: clears after firing
+    ++injected_;
+    return Status::IoError(
+        StrFormat("injected fault: read #%llu of block %u",
+                  static_cast<unsigned long long>(reads_), block));
+  }
+  if (script_.read_fault_rate > 0.0 &&
+      rng_.NextBool(script_.read_fault_rate)) {
+    ++injected_;
+    return Status::IoError(
+        StrFormat("injected fault: random read failure on block %u", block));
+  }
+  return Status::OK();
+}
+
+Status ScriptedFaultInjector::BeforeWrite(BlockId block, size_t* bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++writes_;
+  if (script_.short_nth_write != 0 && writes_ == script_.short_nth_write) {
+    script_.short_nth_write = 0;  // transient
+    ++injected_;
+    *bytes = script_.short_write_bytes;
+    return Status::IoError(
+        StrFormat("injected fault: short write (%zu bytes) of block %u",
+                  *bytes, block));
+  }
+  return Status::OK();
+}
+
+Status ScriptedFaultInjector::BeforeFetch(BlockId block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++fetches_;
+  if (script_.fail_nth_fetch != 0 && fetches_ == script_.fail_nth_fetch) {
+    script_.fail_nth_fetch = 0;  // transient
+    ++injected_;
+    return Status::IoError(
+        StrFormat("injected fault: fetch #%llu of block %u",
+                  static_cast<unsigned long long>(fetches_), block));
+  }
+  return Status::OK();
+}
+
+}  // namespace xprs

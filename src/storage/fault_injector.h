@@ -1,0 +1,107 @@
+// Storage fault injection.
+//
+// A FaultInjector is an optional hook the disk array and the buffer pool
+// consult on every read, write and fetch. The differential correctness
+// harness arms one to prove that storage errors surface as Status values —
+// with balanced buffer-pool pins and clean operator teardown — instead of
+// crashes or wrong answers. Production paths pay one pointer test when no
+// injector is installed.
+//
+// Fault vocabulary (ScriptedFaultInjector):
+//   - fail-N-th read:      the N-th ReadBlock from arming fails with
+//                          IoError; the fault clears, so a retry succeeds
+//                          (transient-then-retry).
+//   - fault rate:          each read independently fails with probability
+//                          p (seeded; reproducible).
+//   - short write:         the N-th WriteBlock copies only a prefix of the
+//                          page and reports IoError (a torn write).
+//   - fail-N-th fetch:     the N-th BufferPool::Fetch fails before touching
+//                          the disk (pool-level fault, e.g. checksum).
+
+#ifndef XPRS_STORAGE_FAULT_INJECTOR_H_
+#define XPRS_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "storage/page.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace xprs {
+
+using BlockId = uint32_t;  // mirrors storage/disk_array.h
+
+/// Hook interface. Implementations must be thread-safe: the disk array and
+/// the buffer pool call these from concurrent slave backends.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Consulted by DiskArray::ReadBlock before the read is served. A non-OK
+  /// status aborts the read and is returned to the caller.
+  virtual Status BeforeRead(BlockId block) = 0;
+
+  /// Consulted by DiskArray::WriteBlock. On a non-OK status the array
+  /// copies only the first *bytes bytes of the page (a torn write; set
+  /// *bytes = 0 for a write that fails before touching media) and returns
+  /// the status. *bytes is ignored for OK results.
+  virtual Status BeforeWrite(BlockId block, size_t* bytes) = 0;
+
+  /// Consulted by BufferPool::Fetch before the frame lookup. A non-OK
+  /// status fails the fetch without touching pool state.
+  virtual Status BeforeFetch(BlockId block) = 0;
+};
+
+/// Deterministic, seedable fault script. All counters are relative to the
+/// last Arm() call; a value of 0 disables that fault. Injected faults are
+/// transient: each fires exactly once and then clears, so the same
+/// operation retried afterwards succeeds.
+class ScriptedFaultInjector : public FaultInjector {
+ public:
+  struct Script {
+    /// 1-based read ordinal that fails (0 = off).
+    uint64_t fail_nth_read = 0;
+    /// Independent probability that any read fails (0 = off). Uses the
+    /// seed passed to Arm(), so runs are reproducible.
+    double read_fault_rate = 0.0;
+    /// 1-based write ordinal that is torn short (0 = off).
+    uint64_t short_nth_write = 0;
+    /// Bytes actually "written" by the torn write.
+    size_t short_write_bytes = 512;
+    /// 1-based fetch ordinal that fails at the pool level (0 = off).
+    uint64_t fail_nth_fetch = 0;
+  };
+
+  ScriptedFaultInjector() = default;
+
+  /// Installs a script and resets all ordinals. Thread-safe.
+  void Arm(const Script& script, uint64_t seed = 0);
+
+  /// Clears the script (all faults off).
+  void Disarm() { Arm(Script{}); }
+
+  /// Totals since construction (not reset by Arm): how many faults fired.
+  uint64_t faults_injected() const;
+  /// Operations seen since the last Arm().
+  uint64_t reads_seen() const;
+  uint64_t writes_seen() const;
+  uint64_t fetches_seen() const;
+
+  Status BeforeRead(BlockId block) override;
+  Status BeforeWrite(BlockId block, size_t* bytes) override;
+  Status BeforeFetch(BlockId block) override;
+
+ private:
+  mutable std::mutex mutex_;
+  Script script_;
+  Rng rng_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t fetches_ = 0;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_STORAGE_FAULT_INJECTOR_H_

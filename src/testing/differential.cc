@@ -1,0 +1,387 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "parallel/fragment_run.h"
+#include "parallel/master.h"
+#include "sched/machine.h"
+#include "storage/buffer_pool.h"
+#include "util/check.h"
+#include "util/str.h"
+#include "workload/relations.h"
+
+namespace xprs {
+
+std::string DifferentialReport::ToString() const {
+  return StrFormat(
+      "plans=%llu executions=%llu reference_rows=%llu fault_cases=%llu "
+      "faults_injected=%llu",
+      static_cast<unsigned long long>(plans_checked),
+      static_cast<unsigned long long>(executions_compared),
+      static_cast<unsigned long long>(reference_rows),
+      static_cast<unsigned long long>(fault_cases),
+      static_cast<unsigned long long>(faults_injected));
+}
+
+DifferentialOracle::DifferentialOracle(DiskArray* array,
+                                       const DifferentialOptions& options,
+                                       uint64_t seed)
+    : array_(array),
+      options_(options),
+      rng_(seed),
+      temp_array_(array != nullptr ? array->num_disks() : 4,
+                  DiskMode::kInstant),
+      model_(CostParams()) {
+  XPRS_CHECK(array_ != nullptr);
+}
+
+DifferentialOracle::Canon DifferentialOracle::Canonicalize(
+    const std::vector<Tuple>& rows) {
+  Canon canon;
+  for (const Tuple& t : rows) canon.insert(t.ToString());
+  return canon;
+}
+
+Status DifferentialOracle::Compare(const PlanNode& plan,
+                                   const std::string& mode,
+                                   const Canon& reference,
+                                   const std::vector<Tuple>& got) {
+  ++report_.executions_compared;
+  Canon actual = Canonicalize(got);
+  if (actual == reference) return Status::OK();
+
+  // Render a small symmetric difference for the failure message.
+  std::string diff;
+  int shown = 0;
+  for (const std::string& row : reference) {
+    if (actual.count(row) != reference.count(row) && shown < 3) {
+      diff += StrFormat("\n  reference x%d, %s x%d: %s",
+                        static_cast<int>(reference.count(row)), mode.c_str(),
+                        static_cast<int>(actual.count(row)), row.c_str());
+      ++shown;
+    }
+  }
+  for (const std::string& row : actual) {
+    if (reference.count(row) == 0 && shown < 6) {
+      diff += StrFormat("\n  only in %s: %s", mode.c_str(), row.c_str());
+      ++shown;
+    }
+  }
+  return Status::Internal(StrFormat(
+      "differential mismatch in mode '%s': reference has %d rows, got %d%s\n"
+      "plan:\n%s",
+      mode.c_str(), static_cast<int>(reference.size()),
+      static_cast<int>(actual.size()), diff.c_str(),
+      plan.ToString().c_str()));
+}
+
+StatusOr<std::vector<Tuple>> DifferentialOracle::RunParallelFragments(
+    const PlanNode& plan, int degree) {
+  FragmentGraph graph = FragmentGraph::Decompose(plan);
+  std::map<int, TempResult> done;
+  for (int id : graph.TopologicalOrder()) {
+    std::map<int, const TempResult*> inputs;
+    for (int dep : graph.fragment(id).deps) inputs[dep] = &done.at(dep);
+
+    ParallelFragmentRun::Options run_options;
+    run_options.initial_parallelism = degree;
+    run_options.max_slots = std::max(options_.max_slots, degree);
+    ParallelFragmentRun run(&graph, id, std::move(inputs), run_options);
+    XPRS_RETURN_IF_ERROR(run.Start());
+    if (options_.adjust_during_run) {
+      // Exercise the §2.4 adjustment protocol mid-run: bounce the degree
+      // down and back up. Adjustments racing fragment completion are
+      // ignored by the run — both interleavings are legal.
+      run.Adjust(1 + static_cast<int>(rng_.NextUint64(
+                         static_cast<uint64_t>(run_options.max_slots))));
+      run.Adjust(degree);
+    }
+    auto result = run.Wait();
+    if (!result.ok()) return result.status();
+    done[id] = std::move(result).value();
+  }
+  return std::move(done.at(graph.root_fragment()).tuples);
+}
+
+StatusOr<std::vector<Tuple>> DifferentialOracle::RunMaster(
+    const PlanNode& plan) {
+  MachineConfig machine;
+  machine.num_cpus = 4;
+  MasterOptions master_options;
+  master_options.sched.policy = SchedPolicy::kInterWithAdj;
+  master_options.max_slots = options_.max_slots;
+  ParallelMaster master(machine, &model_, master_options);
+  auto result = master.Run({QueryJob{&plan, /*query_id=*/1}});
+  if (!result.ok()) return result.status();
+  XPRS_RETURN_IF_ERROR(
+      ValidateSchedDecisions(result->decisions, &result->task_finish_times));
+  return std::move(result->query_results.at(1));
+}
+
+Status DifferentialOracle::CheckPlan(const PlanNode& plan) {
+  // Structural invariant first: the decomposition must account for every
+  // plan node exactly once.
+  FragmentGraph graph = FragmentGraph::Decompose(plan);
+  XPRS_RETURN_IF_ERROR(ValidateFragmentGraph(graph, plan));
+
+  ExecContext plain;
+  XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> ref,
+                        ExecutePlanSequential(plan, plain));
+  Canon reference = Canonicalize(ref);
+  ++report_.plans_checked;
+  ++report_.executions_compared;  // the reference run itself
+  report_.reference_rows += ref.size();
+
+  if (options_.run_fragmented) {
+    XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got,
+                          ExecutePlanFragmented(plan, plain));
+    XPRS_RETURN_IF_ERROR(Compare(plan, "fragmented", reference, got));
+  }
+
+  for (int degree : options_.degrees) {
+    XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got,
+                          RunParallelFragments(plan, degree));
+    XPRS_RETURN_IF_ERROR(
+        Compare(plan, StrFormat("parallel(%d)", degree), reference, got));
+  }
+
+  if (options_.run_master) {
+    XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got, RunMaster(plan));
+    XPRS_RETURN_IF_ERROR(Compare(plan, "master", reference, got));
+  }
+
+  if (options_.run_spill) {
+    ExecContext ctx;
+    ctx.spill.temp_array = &temp_array_;
+    ctx.spill.memory_tuples = options_.spill_memory_tuples;
+    XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got,
+                          ExecutePlanSequential(plan, ctx));
+    XPRS_RETURN_IF_ERROR(Compare(plan, "spill", reference, got));
+  }
+
+  if (options_.run_buffer_pool) {
+    BufferPool pool(array_, options_.buffer_pool_frames);
+    ExecContext ctx;
+    ctx.pool = &pool;
+    XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got,
+                          ExecutePlanSequential(plan, ctx));
+    XPRS_RETURN_IF_ERROR(Compare(plan, "pooled", reference, got));
+    if (pool.PinnedFrames() != 0) {
+      return Status::Internal(
+          StrFormat("pooled run left %d pinned frames\nplan:\n%s",
+                    static_cast<int>(pool.PinnedFrames()),
+                    plan.ToString().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Status DifferentialOracle::FaultCase(const PlanNode& plan,
+                                     const Canon& reference,
+                                     const ExecContext& ctx,
+                                     ScriptedFaultInjector* injector,
+                                     const std::string& label) {
+  ++report_.fault_cases;
+  const uint64_t before = injector->faults_injected();
+  auto faulted = ExecutePlanSequential(plan, ctx);
+  const uint64_t fired = injector->faults_injected() - before;
+  report_.faults_injected += fired;
+
+  if (ctx.pool != nullptr && ctx.pool->PinnedFrames() != 0) {
+    return Status::Internal(StrFormat(
+        "fault case '%s' left %d pinned frames after the faulted run",
+        label.c_str(), static_cast<int>(ctx.pool->PinnedFrames())));
+  }
+  if (faulted.ok() && fired > 0) {
+    return Status::Internal(StrFormat(
+        "fault case '%s': %d injected fault(s) did not surface as Status\n"
+        "plan:\n%s",
+        label.c_str(), static_cast<int>(fired), plan.ToString().c_str()));
+  }
+  // fired == 0 with an OK run means the plan never exercised this hook
+  // (e.g. an empty index range, or a spill hook on a non-spilling plan);
+  // the comparison below still has to hold.
+
+  // Transient faults clear after firing: the identical retry must succeed
+  // and reproduce the reference exactly.
+  auto retried = ExecutePlanSequential(plan, ctx);
+  if (!retried.ok()) {
+    return Status::Internal(StrFormat(
+        "fault case '%s': retry after transient fault failed: %s",
+        label.c_str(), retried.status().ToString().c_str()));
+  }
+  XPRS_RETURN_IF_ERROR(
+      Compare(plan, StrFormat("%s-retry", label.c_str()), reference,
+              retried.value()));
+  if (ctx.pool != nullptr && ctx.pool->PinnedFrames() != 0) {
+    return Status::Internal(
+        StrFormat("fault case '%s' left %d pinned frames after the retry",
+                  label.c_str(), static_cast<int>(ctx.pool->PinnedFrames())));
+  }
+  return Status::OK();
+}
+
+Status DifferentialOracle::CheckFaultSurfacing(const PlanNode& plan) {
+  ExecContext plain;
+  XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> ref,
+                        ExecutePlanSequential(plan, plain));
+  Canon reference = Canonicalize(ref);
+
+  {
+    // Disk-array read hook: the first page read fails with IoError.
+    ScriptedFaultInjector injector;
+    ScriptedFaultInjector::Script script;
+    script.fail_nth_read = 1;
+    injector.Arm(script);
+    array_->SetFaultInjector(&injector);
+    Status status = FaultCase(plan, reference, plain, &injector, "read-fault");
+    array_->SetFaultInjector(nullptr);
+    XPRS_RETURN_IF_ERROR(status);
+  }
+  {
+    // Buffer-pool fetch hook: the first Fetch fails before touching pool
+    // state; pins must balance on both the faulted run and the retry.
+    BufferPool pool(array_, options_.buffer_pool_frames);
+    ScriptedFaultInjector injector;
+    ScriptedFaultInjector::Script script;
+    script.fail_nth_fetch = 1;
+    injector.Arm(script);
+    pool.SetFaultInjector(&injector);
+    ExecContext ctx;
+    ctx.pool = &pool;
+    Status status = FaultCase(plan, reference, ctx, &injector, "fetch-fault");
+    pool.SetFaultInjector(nullptr);
+    XPRS_RETURN_IF_ERROR(status);
+  }
+  {
+    // Temp-array write hook: the first spill write is torn short. Plans
+    // that never spill exercise the vacuous branch of FaultCase.
+    ScriptedFaultInjector injector;
+    ScriptedFaultInjector::Script script;
+    script.short_nth_write = 1;
+    script.short_write_bytes = 512;
+    injector.Arm(script);
+    temp_array_.SetFaultInjector(&injector);
+    ExecContext ctx;
+    ctx.spill.temp_array = &temp_array_;
+    ctx.spill.memory_tuples = options_.spill_memory_tuples;
+    Status status =
+        FaultCase(plan, reference, ctx, &injector, "short-write-fault");
+    temp_array_.SetFaultInjector(nullptr);
+    XPRS_RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
+}
+
+Status DifferentialOracle::CheckRandomReadFaults(const PlanNode& plan,
+                                                 double rate) {
+  if (rate <= 0.0) return Status::OK();
+  ExecContext plain;
+  XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> ref,
+                        ExecutePlanSequential(plan, plain));
+  Canon reference = Canonicalize(ref);
+
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Script script;
+  script.read_fault_rate = rate;
+  injector.Arm(script, rng_.Next());
+  array_->SetFaultInjector(&injector);
+  ++report_.fault_cases;
+  auto faulted = ExecutePlanSequential(plan, plain);
+  array_->SetFaultInjector(nullptr);
+  const uint64_t fired = injector.faults_injected();
+  report_.faults_injected += fired;
+
+  if (faulted.ok()) {
+    if (fired > 0) {
+      return Status::Internal(StrFormat(
+          "random read faults: %d injected fault(s) did not surface\n"
+          "plan:\n%s",
+          static_cast<int>(fired), plan.ToString().c_str()));
+    }
+    XPRS_RETURN_IF_ERROR(
+        Compare(plan, "random-fault-clean", reference, faulted.value()));
+  }
+
+  XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> retried,
+                        ExecutePlanSequential(plan, plain));
+  return Compare(plan, "random-fault-retry", reference, retried);
+}
+
+Status DifferentialOracle::CheckScanIoConservation(Table* table) {
+  XPRS_CHECK(table != nullptr);
+  ExecContext plain;
+
+  array_->ResetStats();
+  SeqScanOp serial(table, Predicate(), plain);
+  XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> serial_rows, Drain(&serial));
+  const uint64_t serial_pages = serial.pages_read();
+  const uint64_t serial_reads = array_->total_stats().reads;
+  Canon reference = Canonicalize(serial_rows);
+  ++report_.executions_compared;
+
+  if (serial_pages != table->stats().num_pages) {
+    return Status::Internal(StrFormat(
+        "serial scan of %s read %d pages but the catalog says %d",
+        table->name().c_str(), static_cast<int>(serial_pages),
+        static_cast<int>(table->stats().num_pages)));
+  }
+
+  for (int degree : options_.degrees) {
+    array_->ResetStats();
+    uint64_t partition_pages = 0;
+    std::vector<Tuple> merged;
+    for (int part = 0; part < degree; ++part) {
+      SeqScanOp scan(table, Predicate(), plain, degree, part);
+      XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Drain(&scan));
+      partition_pages += scan.pages_read();
+      merged.insert(merged.end(), rows.begin(), rows.end());
+    }
+    const uint64_t partition_reads = array_->total_stats().reads;
+    // §2.2: parallelism rescales time, never the io demand D_i. The
+    // partitions must cover the serial page set exactly, both as counted
+    // by the scans and as served by the array.
+    if (partition_pages != serial_pages || partition_reads != serial_reads) {
+      return Status::Internal(StrFormat(
+          "io conservation violated on %s at degree %d: serial %d pages "
+          "(%d array reads), partitions %d pages (%d array reads)",
+          table->name().c_str(), degree, static_cast<int>(serial_pages),
+          static_cast<int>(serial_reads), static_cast<int>(partition_pages),
+          static_cast<int>(partition_reads)));
+    }
+    XPRS_RETURN_IF_ERROR(Compare(
+        *MakeSeqScan(table, Predicate()),
+        StrFormat("partitioned-scan(%d)", degree), reference, merged));
+  }
+  array_->ResetStats();
+  return Status::OK();
+}
+
+Status CheckShortWriteSurfacing(Catalog* catalog, const std::string& name,
+                                uint64_t seed) {
+  XPRS_CHECK(catalog != nullptr);
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Script script;
+  script.short_nth_write = 1;
+  script.short_write_bytes = 256;
+  injector.Arm(script);
+  catalog->disk_array()->SetFaultInjector(&injector);
+  Rng rng(seed);
+  auto built = BuildRelation(catalog, name, /*num_tuples=*/300,
+                             /*text_width=*/24, /*key_range=*/50, &rng);
+  catalog->disk_array()->SetFaultInjector(nullptr);
+  if (built.ok()) {
+    return Status::Internal(
+        "short write during bulk load did not surface as Status");
+  }
+  if (injector.faults_injected() == 0) {
+    return Status::Internal(
+        "bulk load failed but no fault was injected: " +
+        built.status().ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace xprs

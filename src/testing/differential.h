@@ -1,0 +1,142 @@
+// The differential correctness oracle.
+//
+// Every generated plan is executed several independent ways and the
+// canonicalized result sets (multisets of rendered tuples — row order is
+// not part of the comparison) must agree with the trusted sequential
+// reference executor:
+//
+//   - serial           ExecutePlanSequential, direct disk reads
+//   - fragmented       ExecutePlanFragmented (fragment-at-a-time, serial)
+//   - parallel(d)      ParallelFragmentRun per fragment in dependency
+//                      order at each configured degree, with random
+//                      mid-run parallelism adjustments (§2.4)
+//   - master           the full ParallelMaster control loop under the
+//                      adaptive scheduler (§2.5); the decision log is
+//                      validated with ValidateSchedDecisions
+//   - spill            memory-constrained external sort / grace hash join
+//                      (§5 extension) over a temp disk array
+//   - pooled           reads through a small shared BufferPool; the run
+//                      must leave zero pinned frames
+//
+// Structural invariants ride along: every plan's fragment decomposition is
+// checked with ValidateFragmentGraph, and CheckScanIoConservation asserts
+// the §2.2 fluid-model premise that a task's total io demand D_i is a
+// property of the task — page partitioning at any degree must read exactly
+// the pages the serial scan reads, no more, no fewer.
+//
+// CheckFaultSurfacing arms the storage fault hooks (disk-array read,
+// buffer-pool fetch, short write during spill) one at a time and asserts
+// injected faults surface as Status — never aborts — with balanced pins,
+// and that the transient-fault retry reproduces the reference result.
+
+#ifndef XPRS_TESTING_DIFFERENTIAL_H_
+#define XPRS_TESTING_DIFFERENTIAL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/fragment.h"
+#include "opt/cost_model.h"
+#include "storage/catalog.h"
+#include "storage/disk_array.h"
+#include "storage/fault_injector.h"
+#include "util/rng.h"
+
+namespace xprs {
+
+/// Knobs of one oracle instance.
+struct DifferentialOptions {
+  /// Degrees of parallelism the per-fragment parallel mode runs at.
+  std::vector<int> degrees = {2, 3, 5};
+  bool run_fragmented = true;
+  bool run_master = true;
+  bool run_spill = true;
+  bool run_buffer_pool = true;
+  /// Issue random Adjust() calls while parallel fragments run.
+  bool adjust_during_run = true;
+  /// Spill threshold (tuples in memory per operator). Small enough that
+  /// generated joins and sorts actually hit the external paths.
+  size_t spill_memory_tuples = 64;
+  size_t buffer_pool_frames = 16;
+  int max_slots = 8;
+};
+
+/// Counters accumulated across CheckPlan / fault / conservation calls.
+struct DifferentialReport {
+  uint64_t plans_checked = 0;
+  uint64_t executions_compared = 0;
+  uint64_t reference_rows = 0;
+  uint64_t faults_injected = 0;
+  uint64_t fault_cases = 0;
+  std::string ToString() const;
+};
+
+class DifferentialOracle {
+ public:
+  /// `array` is the disk array the checked plans' tables live on; it is
+  /// also the target of the read-hook fault cases. Must outlive the
+  /// oracle. All randomness (adjustment points, fault placement) derives
+  /// from `seed`.
+  DifferentialOracle(DiskArray* array, const DifferentialOptions& options,
+                     uint64_t seed);
+
+  /// Runs `plan` through every configured mode and compares against the
+  /// sequential reference. Non-OK describes the first divergence (the
+  /// message embeds the plan and the mode).
+  Status CheckPlan(const PlanNode& plan);
+
+  /// Fault cases for the read and fetch hooks (plus the spill write hook
+  /// when the plan spills): each armed fault must surface as Status with
+  /// zero pinned frames, and the transient retry must match the reference.
+  Status CheckFaultSurfacing(const PlanNode& plan);
+
+  /// Random-rate read faults: while armed, every disk read independently
+  /// fails with probability `rate` (seeded from the oracle's rng). The run
+  /// must either fail with a Status — with every injected fault accounted
+  /// for — or succeed with the exact reference result; after disarming,
+  /// an identical run must match the reference. No-op when rate <= 0.
+  Status CheckRandomReadFaults(const PlanNode& plan, double rate);
+
+  /// §2.2 io conservation: a page-partitioned scan of `table` at every
+  /// configured degree reads exactly the serial scan's pages.
+  Status CheckScanIoConservation(Table* table);
+
+  const DifferentialReport& report() const { return report_; }
+
+ private:
+  using Canon = std::multiset<std::string>;
+  static Canon Canonicalize(const std::vector<Tuple>& rows);
+  Status Compare(const PlanNode& plan, const std::string& mode,
+                 const Canon& reference, const std::vector<Tuple>& got);
+
+  StatusOr<std::vector<Tuple>> RunParallelFragments(const PlanNode& plan,
+                                                    int degree);
+  StatusOr<std::vector<Tuple>> RunMaster(const PlanNode& plan);
+  // One armed-hook case: runs `plan` under `ctx`, asserting a fired fault
+  // surfaces as Status and a clean retry matches `reference`.
+  Status FaultCase(const PlanNode& plan, const Canon& reference,
+                   const ExecContext& ctx, ScriptedFaultInjector* injector,
+                   const std::string& label);
+
+  DiskArray* const array_;
+  const DifferentialOptions options_;
+  Rng rng_;
+  /// Spill target for the memory-constrained mode (and the write-hook
+  /// fault case). kInstant: only accounting, no sleeps.
+  DiskArray temp_array_;
+  CostModel model_;
+  DifferentialReport report_;
+};
+
+/// Write-hook fault case independent of query shape: arms a short write on
+/// `array` and bulk-loads a throwaway relation into `catalog` (which must
+/// live on `array`), asserting the torn write surfaces as Status from the
+/// loader. `name` must be unused in the catalog.
+Status CheckShortWriteSurfacing(Catalog* catalog, const std::string& name,
+                                uint64_t seed);
+
+}  // namespace xprs
+
+#endif  // XPRS_TESTING_DIFFERENTIAL_H_

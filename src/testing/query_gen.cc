@@ -1,0 +1,161 @@
+#include "testing/query_gen.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/str.h"
+#include "workload/relations.h"
+
+namespace xprs {
+
+StatusOr<std::vector<Table*>> BuildGeneratedWorkload(
+    Catalog* catalog, const GeneratedWorkloadOptions& options, Rng* rng) {
+  XPRS_CHECK(catalog != nullptr);
+  XPRS_CHECK(rng != nullptr);
+  XPRS_CHECK_GE(options.num_relations, 1);
+  XPRS_CHECK_LE(options.min_tuples, options.max_tuples);
+  XPRS_CHECK_GE(options.min_key_range, 1);
+  XPRS_CHECK_LE(options.min_key_range, options.max_key_range);
+  std::vector<Table*> tables;
+  for (int i = 0; i < options.num_relations; ++i) {
+    uint64_t tuples = static_cast<uint64_t>(
+        rng->NextInt(static_cast<int64_t>(options.min_tuples),
+                     static_cast<int64_t>(options.max_tuples)));
+    int32_t key_range = static_cast<int32_t>(
+        rng->NextInt(options.min_key_range, options.max_key_range));
+    // One relation in five carries a NULL text column (the r_min shape).
+    int text_width = rng->NextBool(0.2)
+                         ? -1
+                         : static_cast<int>(
+                               rng->NextInt(0, options.max_text_width));
+    double null_fraction =
+        options.max_null_key_fraction > 0.0
+            ? rng->NextDouble() * options.max_null_key_fraction
+            : 0.0;
+    XPRS_ASSIGN_OR_RETURN(
+        Table * table,
+        BuildRelation(catalog, StrFormat("t%d", i), tuples, text_width,
+                      key_range, rng, null_fraction));
+    tables.push_back(table);
+  }
+  return tables;
+}
+
+QueryGenerator::QueryGenerator(std::vector<Table*> tables,
+                               const Options& options, uint64_t seed)
+    : tables_(std::move(tables)), options_(options), rng_(seed) {
+  XPRS_CHECK(!tables_.empty());
+  for (Table* table : tables_) XPRS_CHECK(table != nullptr);
+}
+
+Predicate QueryGenerator::RandomComparison(const Table& table) {
+  const TableStats& stats = table.stats();
+  // Constants straddle the key domain so some predicates are empty or
+  // all-pass — both are edge cases the oracle should see.
+  int32_t lo = stats.has_key_bounds ? stats.min_key : 0;
+  int32_t hi = stats.has_key_bounds ? stats.max_key : 8;
+  int32_t constant =
+      static_cast<int32_t>(rng_.NextInt(lo - 3, hi + 3));
+  static constexpr CmpOp kOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                                   CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+  CmpOp op = kOps[rng_.NextUint64(6)];
+  return Predicate::Compare(0, op, Value(constant));
+}
+
+Predicate QueryGenerator::RandomPredicate(const Table& table) {
+  double pick = rng_.NextDouble();
+  if (pick < 0.5) return RandomComparison(table);
+  if (pick < 0.7) {
+    const TableStats& stats = table.stats();
+    int32_t min = stats.has_key_bounds ? stats.min_key : 0;
+    int32_t max = stats.has_key_bounds ? stats.max_key : 8;
+    int32_t a = static_cast<int32_t>(rng_.NextInt(min - 2, max + 2));
+    int32_t b = static_cast<int32_t>(rng_.NextInt(min - 2, max + 2));
+    return Predicate::Between(0, std::min(a, b), std::max(a, b));
+  }
+  if (pick < 0.85)
+    return Predicate::And(RandomComparison(table), RandomComparison(table));
+  return Predicate::Or(RandomComparison(table), RandomComparison(table));
+}
+
+QueryGenerator::Sub QueryGenerator::MakeScan() {
+  Table* table = tables_[rng_.NextUint64(tables_.size())];
+  Predicate predicate = rng_.NextBool(options_.filter_prob)
+                            ? RandomPredicate(*table)
+                            : Predicate();
+  Sub sub;
+  if (table->index() != nullptr && rng_.NextBool(options_.index_scan_prob)) {
+    const TableStats& stats = table->stats();
+    int32_t min = stats.has_key_bounds ? stats.min_key : 0;
+    int32_t max = stats.has_key_bounds ? stats.max_key : 8;
+    int32_t a = static_cast<int32_t>(rng_.NextInt(min - 1, max + 1));
+    int32_t b = static_cast<int32_t>(rng_.NextInt(min - 1, max + 1));
+    KeyRange range{std::min(a, b), std::max(a, b)};
+    sub.plan = MakeIndexScan(table, std::move(predicate), range);
+  } else {
+    sub.plan = MakeSeqScan(table, std::move(predicate));
+  }
+  sub.int_cols = {0};  // paper schema: a int4, b text
+  return sub;
+}
+
+QueryGenerator::Sub QueryGenerator::MakeJoinChain() {
+  Sub left = MakeScan();
+  int num_joins =
+      static_cast<int>(rng_.NextUint64(options_.max_joins + 1));
+  for (int j = 0; j < num_joins; ++j) {
+    Sub right = MakeScan();
+    size_t left_width = left.plan->output_schema.num_columns();
+    size_t left_key = left.int_cols[rng_.NextUint64(left.int_cols.size())];
+    size_t right_key = right.int_cols[rng_.NextUint64(right.int_cols.size())];
+
+    double total = options_.nestloop_weight + options_.hash_weight +
+                   options_.merge_weight;
+    double pick = rng_.NextDouble() * total;
+    std::unique_ptr<PlanNode> joined;
+    if (pick < options_.nestloop_weight) {
+      joined = MakeNestLoopJoin(std::move(left.plan), std::move(right.plan),
+                                left_key, right_key);
+    } else if (pick < options_.nestloop_weight + options_.hash_weight) {
+      joined = MakeHashJoin(std::move(left.plan), std::move(right.plan),
+                            left_key, right_key);
+    } else {
+      // Merge join consumes sorted inputs; give it the Sorts it needs.
+      joined = MakeMergeJoin(MakeSort(std::move(left.plan), left_key),
+                             MakeSort(std::move(right.plan), right_key),
+                             left_key, right_key);
+    }
+    for (size_t col : right.int_cols)
+      left.int_cols.push_back(left_width + col);
+    left.plan = std::move(joined);
+  }
+  return left;
+}
+
+std::unique_ptr<PlanNode> QueryGenerator::NextPlan() {
+  Sub sub = MakeJoinChain();
+  if (rng_.NextBool(options_.aggregate_prob)) {
+    size_t agg_col = sub.int_cols[rng_.NextUint64(sub.int_cols.size())];
+    int group_col =
+        rng_.NextBool(0.5)
+            ? static_cast<int>(
+                  sub.int_cols[rng_.NextUint64(sub.int_cols.size())])
+            : -1;
+    static constexpr AggFunc kFuncs[] = {AggFunc::kCount, AggFunc::kSum,
+                                         AggFunc::kMin, AggFunc::kMax};
+    AggFunc func = kFuncs[rng_.NextUint64(4)];
+    sub.plan = MakeAggregate(std::move(sub.plan), func, agg_col, group_col);
+    sub.int_cols.clear();
+    if (group_col >= 0) sub.int_cols.push_back(0);
+    sub.int_cols.push_back(group_col >= 0 ? 1 : 0);
+  }
+  if (rng_.NextBool(options_.sort_root_prob)) {
+    size_t sort_key = sub.int_cols[rng_.NextUint64(sub.int_cols.size())];
+    sub.plan = MakeSort(std::move(sub.plan), sort_key);
+  }
+  ++num_generated_;
+  return std::move(sub.plan);
+}
+
+}  // namespace xprs

@@ -1,0 +1,99 @@
+// Seeded random query generation for the differential correctness harness.
+//
+// The generator owns a small catalog of paper-schema relations (built with
+// varying cardinalities, tuple widths, key ranges and NULL-key fractions)
+// and produces random physical plans over them: sequential and index scans
+// with Compare/Between/And/Or qualifications, left-deep chains of
+// nestloop / hash / merge joins (merge joins get the Sorts their inputs
+// need), and optional Aggregate and Sort roots. Every plan it emits is
+// executable by the sequential reference executor, the fragmented executor
+// and the parallel master alike — the differential oracle runs each plan
+// through all of them and compares.
+//
+// Determinism contract: a generator constructed with the same tables,
+// options and seed yields the same plan sequence. Harness binaries derive
+// the seed via TestSeed() so XPRS_SEED replays a whole run.
+
+#ifndef XPRS_TESTING_QUERY_GEN_H_
+#define XPRS_TESTING_QUERY_GEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+#include "storage/catalog.h"
+#include "util/rng.h"
+
+namespace xprs {
+
+/// Shape of the relation population backing generated queries.
+struct GeneratedWorkloadOptions {
+  int num_relations = 3;
+  uint64_t min_tuples = 60;
+  uint64_t max_tuples = 320;
+  /// Keys are drawn from [0, key_range) with key_range itself uniform in
+  /// [min_key_range, max_key_range]; small ranges keep joins productive.
+  int32_t min_key_range = 16;
+  int32_t max_key_range = 240;
+  int max_text_width = 48;
+  /// Upper bound of the per-relation NULL-key fraction (each relation
+  /// draws its own fraction in [0, this]).
+  double max_null_key_fraction = 0.15;
+};
+
+/// Builds `options.num_relations` relations named t0, t1, ... into
+/// `catalog` and returns them. All randomness comes from `rng`.
+StatusOr<std::vector<Table*>> BuildGeneratedWorkload(
+    Catalog* catalog, const GeneratedWorkloadOptions& options, Rng* rng);
+
+/// Random plan generator over a fixed table set.
+class QueryGenerator {
+ public:
+  struct Options {
+    /// Maximum number of joins per plan (left-deep chain length - 1).
+    int max_joins = 2;
+    double filter_prob = 0.65;
+    double index_scan_prob = 0.3;
+    double aggregate_prob = 0.35;
+    double sort_root_prob = 0.35;
+    /// Relative odds of the three join algorithms. Nestloop is kept rare:
+    /// it re-opens its inner scan per outer tuple, so it dominates the
+    /// harness runtime when the outer side is large.
+    double nestloop_weight = 1.0;
+    double hash_weight = 3.0;
+    double merge_weight = 2.0;
+  };
+
+  /// `tables` must outlive the generator (they are catalog-owned).
+  QueryGenerator(std::vector<Table*> tables, const Options& options,
+                 uint64_t seed);
+
+  /// The next random plan. Never null.
+  std::unique_ptr<PlanNode> NextPlan();
+
+  /// Plans generated so far.
+  uint64_t num_generated() const { return num_generated_; }
+
+ private:
+  // A subtree plus the int4 column positions of its output schema (join
+  // keys, sort keys, aggregate and group columns must be int4).
+  struct Sub {
+    std::unique_ptr<PlanNode> plan;
+    std::vector<size_t> int_cols;
+  };
+
+  Sub MakeScan();
+  Sub MakeJoinChain();
+  Predicate RandomPredicate(const Table& table);
+  Predicate RandomComparison(const Table& table);
+
+  std::vector<Table*> tables_;
+  Options options_;
+  Rng rng_;
+  uint64_t num_generated_ = 0;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_TESTING_QUERY_GEN_H_

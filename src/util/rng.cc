@@ -1,5 +1,10 @@
 #include "util/rng.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
 namespace xprs {
 
 namespace {
@@ -64,6 +69,57 @@ bool Rng::NextBool(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return NextDouble() < p;
+}
+
+namespace {
+
+struct SeedState {
+  bool overridden = false;
+  uint64_t seed = 0;
+};
+
+SeedState ReadSeedEnv(uint64_t fallback) {
+  SeedState state;
+  state.seed = fallback;
+  const char* env = std::getenv("XPRS_SEED");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(env, &end, 0);  // 0: dec/hex
+    if (end != nullptr && *end == '\0') {
+      state.overridden = true;
+      state.seed = static_cast<uint64_t>(parsed);
+    } else {
+      std::fprintf(stderr, "xprs: ignoring unparseable XPRS_SEED='%s'\n",
+                   env);
+    }
+  }
+  std::fprintf(stderr, "xprs: seed=%" PRIu64 " (%s); replay with XPRS_SEED=%"
+               PRIu64 "\n",
+               state.seed, state.overridden ? "XPRS_SEED" : "default",
+               state.seed);
+  return state;
+}
+
+// Resolved (and logged) once per process; the first caller's fallback
+// wins. Thread-safe via static-local initialization.
+const SeedState& GlobalSeedState(uint64_t fallback) {
+  static SeedState state = ReadSeedEnv(fallback);
+  return state;
+}
+
+}  // namespace
+
+uint64_t BaseSeed(uint64_t fallback) {
+  return GlobalSeedState(fallback).seed;
+}
+
+uint64_t TestSeed(uint64_t site_seed) {
+  const SeedState& env = GlobalSeedState(0xC0FFEE);
+  if (!env.overridden) return site_seed;
+  uint64_t z = env.seed + 0x9E3779B97F4A7C15ULL * (site_seed | 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
 }
 
 }  // namespace xprs

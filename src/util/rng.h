@@ -60,6 +60,19 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Base seed for randomized tests and benchmarks: the XPRS_SEED environment
+/// variable (decimal or 0x-prefixed hex) when set and parseable, `fallback`
+/// otherwise. The env var is read once per process; the chosen seed and its
+/// source are printed to stderr on first use so every run — flaky failures
+/// included — can be replayed exactly (`XPRS_SEED=<n> <binary>`).
+uint64_t BaseSeed(uint64_t fallback = 0xC0FFEE);
+
+/// Effective seed for one call site: `site_seed` itself when XPRS_SEED is
+/// unset (bit-identical to historical behavior), otherwise a mix of the
+/// override and the site seed so one env var reshuffles every site while
+/// distinct sites stay decorrelated.
+uint64_t TestSeed(uint64_t site_seed);
+
 }  // namespace xprs
 
 #endif  // XPRS_UTIL_RNG_H_

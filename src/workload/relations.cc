@@ -21,7 +21,8 @@ constexpr int kSlotBytes = 4;
 
 StatusOr<Table*> BuildRelation(Catalog* catalog, const std::string& name,
                                uint64_t num_tuples, int text_width,
-                               int32_t key_range, Rng* rng) {
+                               int32_t key_range, Rng* rng,
+                               double null_key_fraction) {
   XPRS_CHECK(catalog != nullptr);
   XPRS_CHECK(rng != nullptr);
   XPRS_CHECK_GE(text_width, -1);  // -1 = NULL text
@@ -29,12 +30,16 @@ StatusOr<Table*> BuildRelation(Catalog* catalog, const std::string& name,
   XPRS_ASSIGN_OR_RETURN(Table * table,
                         catalog->CreateTable(name, Schema::PaperSchema()));
   for (uint64_t i = 0; i < num_tuples; ++i) {
-    int32_t key = static_cast<int32_t>(rng->NextUint64(key_range));
+    Value key(static_cast<int32_t>(rng->NextUint64(key_range)));
+    // Guarded so the fraction-0 default consumes no randomness and keeps
+    // historical relations bit-identical.
+    if (null_key_fraction > 0.0 && rng->NextBool(null_key_fraction))
+      key = Value(std::monostate{});
     Value text = text_width < 0
                      ? Value(std::monostate{})
                      : Value(std::string(static_cast<size_t>(text_width), 'b'));
     XPRS_RETURN_IF_ERROR(
-        table->file().Append(Tuple({Value(key), std::move(text)})));
+        table->file().Append(Tuple({std::move(key), std::move(text)})));
   }
   XPRS_RETURN_IF_ERROR(table->file().Flush());
   XPRS_RETURN_IF_ERROR(table->BuildIndex(0));

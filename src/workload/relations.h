@@ -31,10 +31,14 @@ inline constexpr double kTupleCpu = 0.00046548;
 /// Builds a relation named `name` with `num_tuples` tuples of the paper
 /// schema; keys drawn uniformly from [0, key_range); the text column is
 /// `text_width` bytes. Builds the unclustered index on a and computes
-/// stats.
+/// stats. A `null_key_fraction` > 0 makes that fraction of keys NULL
+/// (exercising the NULL paths of joins, aggregates and the index builder);
+/// the default draws no extra random numbers, so existing seeds reproduce
+/// bit-identical relations.
 StatusOr<Table*> BuildRelation(Catalog* catalog, const std::string& name,
                                uint64_t num_tuples, int text_width,
-                               int32_t key_range, Rng* rng);
+                               int32_t key_range, Rng* rng,
+                               double null_key_fraction = 0.0);
 
 /// r_min: b NULL everywhere -> hundreds of tuples per page (§3).
 StatusOr<Table*> BuildRMin(Catalog* catalog, uint64_t num_tuples, Rng* rng);

@@ -1,24 +1,33 @@
-// Shared --trace-out / metrics plumbing for the bench binaries.
+// Shared --trace-out / --metrics-out / --profile-out plumbing for the
+// bench binaries.
 //
 // Usage:
 //   int main(int argc, char** argv) {
-//     xprs::BenchObs bench_obs(&argc, argv);   // strips --trace-out=<path>
+//     xprs::BenchObs bench_obs(&argc, argv);   // strips the flags below
 //     ... attach bench_obs.obs() to one representative run ...
-//     bench_obs.Finish();   // writes the Chrome trace, prints metrics JSON
+//     bench_obs.RegisterProfile(result.profile);  // EXPLAIN ANALYZE runs
+//     bench_obs.Finish();   // writes trace/metrics/profile files
 //   }
 //
-// The flag is stripped from argv so benches that parse their own flags —
-// and google-benchmark's Initialize — never see it. Every bench prints one
-// "metrics: {...}" JSON line whether or not tracing was requested, so the
-// counters are always scrapeable from bench output.
+// Flags (all stripped from argv so benches that parse their own flags —
+// and google-benchmark's Initialize — never see them):
+//   --trace-out=<file>    Chrome trace JSON of the recorded events
+//   --metrics-out=<file>  MetricsRegistry JSON snapshot
+//   --profile-out=<file>  QueryProfile JSON of the registered profile
+//
+// Every bench prints one "metrics: {...}" JSON line whether or not any
+// file was requested, so the counters are always scrapeable from output.
 
 #ifndef XPRS_BENCH_BENCH_OBS_H_
 #define XPRS_BENCH_BENCH_OBS_H_
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
+#include "exec/profile.h"
 #include "obs/obs.h"
 
 namespace xprs {
@@ -26,15 +35,14 @@ namespace xprs {
 class BenchObs {
  public:
   BenchObs(int* argc, char** argv) {
-    static constexpr char kFlag[] = "--trace-out=";
-    const size_t flag_len = std::strlen(kFlag);
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
-      if (std::strncmp(argv[i], kFlag, flag_len) == 0) {
-        trace_path_ = argv[i] + flag_len;
-      } else {
-        argv[out++] = argv[i];
+      if (TakeFlag(argv[i], "--trace-out=", &trace_path_) ||
+          TakeFlag(argv[i], "--metrics-out=", &metrics_path_) ||
+          TakeFlag(argv[i], "--profile-out=", &profile_path_)) {
+        continue;
       }
+      argv[out++] = argv[i];
     }
     *argc = out;
   }
@@ -44,9 +52,16 @@ class BenchObs {
   MetricsRegistry* metrics() { return &metrics_; }
   TraceSink* trace() { return &recorder_; }
   bool tracing_requested() const { return !trace_path_.empty(); }
+  bool profile_requested() const { return !profile_path_.empty(); }
 
-  /// Writes the trace file (if --trace-out was given) and prints the
-  /// metrics snapshot as one "metrics: {...}" line.
+  /// Registers the profile --profile-out will dump (the last registration
+  /// wins; benches typically register their headline query's profile).
+  void RegisterProfile(std::shared_ptr<const QueryProfile> profile) {
+    profile_ = std::move(profile);
+  }
+
+  /// Writes the requested output files and prints the metrics snapshot as
+  /// one "metrics: {...}" line.
   void Finish() {
     if (!trace_path_.empty()) {
       Status st = WriteChromeTrace(trace_path_, recorder_.snapshot());
@@ -58,13 +73,47 @@ class BenchObs {
         std::fprintf(stderr, "trace: %s\n", st.ToString().c_str());
       }
     }
+    if (!metrics_path_.empty()) {
+      std::ofstream file(metrics_path_, std::ios::trunc);
+      if (file.is_open()) {
+        file << metrics_.DumpJson() << "\n";
+        std::printf("metrics: wrote %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "metrics: cannot open %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    if (!profile_path_.empty()) {
+      if (profile_ == nullptr) {
+        std::fprintf(stderr,
+                     "profile: --profile-out given but no profile was "
+                     "registered\n");
+      } else {
+        Status st = profile_->WriteJson(profile_path_);
+        if (st.ok()) {
+          std::printf("profile: wrote %s\n", profile_path_.c_str());
+        } else {
+          std::fprintf(stderr, "profile: %s\n", st.ToString().c_str());
+        }
+      }
+    }
     std::printf("metrics: %s\n", metrics_.DumpJson().c_str());
   }
 
  private:
+  static bool TakeFlag(const char* arg, const char* flag, std::string* out) {
+    const size_t len = std::strlen(flag);
+    if (std::strncmp(arg, flag, len) != 0) return false;
+    *out = arg + len;
+    return true;
+  }
+
   std::string trace_path_;
+  std::string metrics_path_;
+  std::string profile_path_;
   MemoryTraceRecorder recorder_;
   MetricsRegistry metrics_;
+  std::shared_ptr<const QueryProfile> profile_;
 };
 
 }  // namespace xprs

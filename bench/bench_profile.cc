@@ -1,0 +1,109 @@
+// Profiled 3-way-join run: the EXPLAIN ANALYZE showcase bench.
+//
+// Builds a fixed synthetic orders/custs catalog, runs a 3-join aggregate
+// query twice — sequentially and through the parallel master — and prints
+// both EXPLAIN ANALYZE reports. With --profile-out= the parallel run's
+// profile is dumped as JSON; --metrics-out= / --trace-out= capture the
+// metrics snapshot (profile.* counters included) and the Chrome trace with
+// the profiler's utilization counter track. Used by scripts/ci.sh to
+// schema-validate the emitted profile artifacts.
+//
+//   bench_profile [--rows=N] [--trace-out=f] [--metrics-out=f]
+//                 [--profile-out=f]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_obs.h"
+#include "sql/engine.h"
+
+namespace xprs {
+namespace {
+
+Status BuildCatalog(Catalog* catalog, int orders_rows) {
+  XPRS_ASSIGN_OR_RETURN(Table * orders,
+                        catalog->CreateTable("orders", Schema::PaperSchema()));
+  for (int i = 0; i < orders_rows; ++i) {
+    XPRS_RETURN_IF_ERROR(orders->file().Append(
+        Tuple({Value(int32_t{i % 100}),
+               Value(std::string("o") + std::to_string(i))})));
+  }
+  XPRS_RETURN_IF_ERROR(orders->file().Flush());
+  XPRS_RETURN_IF_ERROR(orders->BuildIndex(0));
+  XPRS_RETURN_IF_ERROR(orders->ComputeStats());
+
+  XPRS_ASSIGN_OR_RETURN(Table * custs,
+                        catalog->CreateTable("custs", Schema::PaperSchema()));
+  for (int i = 0; i < 100; ++i) {
+    XPRS_RETURN_IF_ERROR(custs->file().Append(
+        Tuple({Value(int32_t{i}),
+               Value(std::string("c") + std::to_string(i))})));
+  }
+  XPRS_RETURN_IF_ERROR(custs->file().Flush());
+  XPRS_RETURN_IF_ERROR(custs->BuildIndex(0));
+  XPRS_RETURN_IF_ERROR(custs->ComputeStats());
+  return Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  BenchObs bench_obs(&argc, argv);
+  int orders_rows = 3000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rows=", 7) == 0)
+      orders_rows = std::atoi(argv[i] + 7);
+  }
+
+  DiskArray array(4, DiskMode::kInstant);
+  Catalog catalog(&array);
+  Status built = BuildCatalog(&catalog, orders_rows);
+  if (!built.ok()) {
+    std::fprintf(stderr, "catalog: %s\n", built.ToString().c_str());
+    return 1;
+  }
+
+  CostModel model;
+  SqlEngine engine(&catalog, MachineConfig::PaperConfig(), &model);
+  const std::string sql =
+      "SELECT count(o1.a) FROM orders o1, custs c, orders o2 "
+      "WHERE o1.a = c.a AND c.a = o2.a AND c.a < 50";
+
+  std::printf("== bench_profile: %s\n", sql.c_str());
+
+  auto seq = engine.ExplainAnalyze(sql);
+  if (!seq.ok()) {
+    std::fprintf(stderr, "sequential: %s\n", seq.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n-- sequential EXPLAIN ANALYZE --\n%s\n",
+              seq->analyze_text.c_str());
+
+  MasterOptions options;
+  options.obs = bench_obs.obs();
+  auto par = engine.ExplainAnalyzeParallel(sql, options);
+  if (!par.ok()) {
+    std::fprintf(stderr, "parallel: %s\n", par.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- parallel EXPLAIN ANALYZE --\n%s\n",
+              par->analyze_text.c_str());
+
+  if (seq->rows.size() != par->rows.size() ||
+      seq->rows[0].ToString() != par->rows[0].ToString()) {
+    std::fprintf(stderr, "result mismatch: seq=%s par=%s\n",
+                 seq->rows[0].ToString().c_str(),
+                 par->rows[0].ToString().c_str());
+    return 1;
+  }
+  std::printf("result: %s (sequential == parallel)\n",
+              par->rows[0].ToString().c_str());
+
+  bench_obs.RegisterProfile(par->profile);
+  bench_obs.Finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace xprs
+
+int main(int argc, char** argv) { return xprs::Run(argc, argv); }

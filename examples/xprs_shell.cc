@@ -9,9 +9,12 @@
 //                                       sequential scan runs at io_rate io/s
 //   .tables                             list relations with stats
 //   .explain <sql>                      optimize only, print plan + costs
+//   .profile <sql>                      EXPLAIN ANALYZE through the parallel
+//                                       master: actual rows/pages/time per
+//                                       operator + adjustment timeline
 //   .help                               this text
 //   .quit
-//   anything else is executed as SQL.
+//   anything else is executed as SQL (EXPLAIN [ANALYZE] prefixes work too).
 
 #include <cstdio>
 #include <iostream>
@@ -29,7 +32,8 @@ void PrintHelp() {
   std::printf(
       "commands:\n"
       "  .create <name> <tuples> <io_rate> [key_range]\n"
-      "  .tables | .explain <sql> | .parallel <sql> | .help | .quit\n"
+      "  .tables | .explain <sql> | .parallel <sql> | .profile <sql>\n"
+      "  .help | .quit\n"
       "  otherwise: SQL, e.g. SELECT count(a) FROM r WHERE a < 10\n");
 }
 
@@ -128,6 +132,19 @@ int main() {
         PrintResult(*result);
         continue;
       }
+      if (cmd == ".profile") {
+        std::string sql = line.substr(line.find(".profile") + 8);
+        MasterOptions options;
+        auto result = engine.ExplainAnalyzeParallel(sql, options);
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%s", result->analyze_text.c_str());
+        std::printf("(%zu rows; seqcost %.2fs, parcost %.2fs)\n",
+                    result->rows.size(), result->seqcost, result->parcost);
+        continue;
+      }
       if (cmd == ".explain") {
         std::string sql = line.substr(line.find(".explain") + 8);
         auto result = engine.Explain(sql);
@@ -149,6 +166,8 @@ int main() {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
+    if (!result->analyze_text.empty())
+      std::printf("%s", result->analyze_text.c_str());
     PrintResult(*result);
   }
   std::printf("\nbye\n");

@@ -17,12 +17,62 @@ JOBS="${1:-4}"
 # after the full build is a build artifact escaping the gitignored trees.
 STATUS_BEFORE="$(git status --porcelain)"
 
-echo "==> [1/3] default config (tier1)"
+echo "==> [1/4] default config (tier1)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "${JOBS}"
 ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [2/3] asan+ubsan config (tier1 + slow)"
+echo "==> [2/4] profile/trace schema validation"
+# One profiled bench run, then structural validation of every emitted JSON
+# artifact: the Chrome trace, the metrics snapshot (p50/p95/p99 present on
+# histograms), and the QueryProfile document. Guards the contract consumed
+# by trace viewers and the EXPERIMENTS.md figure tooling.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "${OBS_TMP}"' EXIT
+./build/bench/bench_profile --rows=600 \
+  --trace-out="${OBS_TMP}/trace.json" \
+  --metrics-out="${OBS_TMP}/metrics.json" \
+  --profile-out="${OBS_TMP}/profile.json" > "${OBS_TMP}/stdout.txt"
+python3 - "${OBS_TMP}" <<'PYEOF'
+import json, sys
+
+tmp = sys.argv[1]
+
+trace = json.load(open(f"{tmp}/trace.json"))
+assert "traceEvents" in trace, "trace: missing traceEvents"
+names = {e.get("name") for e in trace["traceEvents"]}
+assert "profile cpus busy" in names, "trace: missing profiler counter track"
+assert any(e.get("ph") == "C" for e in trace["traceEvents"]), \
+    "trace: no counter events"
+
+metrics = json.load(open(f"{tmp}/metrics.json"))
+for section in ("counters", "gauges", "histograms"):
+    assert section in metrics, f"metrics: missing {section}"
+for key in ("profile.queries", "profile.tuples_out", "profile.pages_read"):
+    assert key in metrics["counters"], f"metrics: missing counter {key}"
+for name, hist in metrics["histograms"].items():
+    for key in ("count", "sum", "min", "max", "buckets", "p50", "p95", "p99"):
+        assert key in hist, f"metrics: histogram {name} missing {key}"
+
+profile = json.load(open(f"{tmp}/profile.json"))
+for section in ("operators", "fragments", "timeline", "utilization",
+                "totals"):
+    assert section in profile, f"profile: missing {section}"
+assert profile["operators"], "profile: no operators"
+for op in profile["operators"]:
+    for key in ("id", "parent", "kind", "label", "est", "actual"):
+        assert key in op, f"profile: operator missing {key}"
+assert profile["totals"]["tuples_out"] == sum(
+    op["actual"]["rows"] for op in profile["operators"]), \
+    "profile: totals do not reconcile with operators"
+assert profile["fragments"], "profile: parallel run recorded no fragments"
+assert profile["timeline"], "profile: no adjustment timeline"
+print(f"profile schema ok: {len(profile['operators'])} operators, "
+      f"{len(profile['fragments'])} fragments, "
+      f"{len(trace['traceEvents'])} trace events")
+PYEOF
+
+echo "==> [3/4] asan+ubsan config (tier1 + slow)"
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
@@ -34,7 +84,7 @@ cmake --build build-asan -j "${JOBS}"
 ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "==> [3/3] artifact hygiene"
+echo "==> [4/4] artifact hygiene"
 # Build trees, object files and trace/metric dumps are gitignored; a full
 # build + test cycle must not add anything to git status. New entries are
 # build artifacts escaping into the source tree — fail loudly.

@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include "exec/profile.h"
 #include "exec/spill_ops.h"
 #include "util/check.h"
 
@@ -15,38 +16,42 @@ StatusOr<std::unique_ptr<Operator>> Build(const PlanNode& plan,
                                           int num_partitions,
                                           int partition_index,
                                           bool partition_leftmost) {
+  std::unique_ptr<Operator> op;
   switch (plan.kind) {
     case PlanKind::kSeqScan: {
       int n = partition_leftmost ? num_partitions : 1;
       int i = partition_leftmost ? partition_index : 0;
-      return std::unique_ptr<Operator>(
-          std::make_unique<SeqScanOp>(plan.table, plan.predicate, ctx, n, i));
+      op = std::make_unique<SeqScanOp>(plan.table, plan.predicate, ctx, n, i);
+      break;
     }
     case PlanKind::kIndexScan:
       // Static partitioning of index scans is by key range; the sequential
       // builder runs them whole (the parallel module range-partitions).
-      return std::unique_ptr<Operator>(std::make_unique<IndexScanOp>(
-          plan.table, plan.predicate, plan.index_range, ctx));
+      op = std::make_unique<IndexScanOp>(plan.table, plan.predicate,
+                                         plan.index_range, ctx);
+      break;
     case PlanKind::kSort: {
       XPRS_ASSIGN_OR_RETURN(
           std::unique_ptr<Operator> child,
           Build(*plan.left, ctx, num_partitions, partition_index,
                 partition_leftmost));
       if (ctx.spill.temp_array != nullptr) {
-        return std::unique_ptr<Operator>(std::make_unique<ExternalSortOp>(
-            std::move(child), plan.sort_key, ctx.spill));
+        op = std::make_unique<ExternalSortOp>(std::move(child), plan.sort_key,
+                                              ctx.spill);
+      } else {
+        op = std::make_unique<SortOp>(std::move(child), plan.sort_key);
       }
-      return std::unique_ptr<Operator>(
-          std::make_unique<SortOp>(std::move(child), plan.sort_key));
+      break;
     }
     case PlanKind::kAggregate: {
       XPRS_ASSIGN_OR_RETURN(
           std::unique_ptr<Operator> child,
           Build(*plan.left, ctx, num_partitions, partition_index,
                 partition_leftmost));
-      return std::unique_ptr<Operator>(std::make_unique<AggregateOp>(
-          std::move(child), plan.output_schema, plan.agg_func, plan.agg_col,
-          plan.group_col));
+      op = std::make_unique<AggregateOp>(std::move(child), plan.output_schema,
+                                         plan.agg_func, plan.agg_col,
+                                         plan.group_col);
+      break;
     }
     case PlanKind::kNestLoopJoin: {
       XPRS_ASSIGN_OR_RETURN(
@@ -55,8 +60,9 @@ StatusOr<std::unique_ptr<Operator>> Build(const PlanNode& plan,
                 partition_leftmost));
       XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
                             Build(*plan.right, ctx, 1, 0, false));
-      return std::unique_ptr<Operator>(std::make_unique<NestLoopJoinOp>(
-          std::move(outer), std::move(inner), plan.left_key, plan.right_key));
+      op = std::make_unique<NestLoopJoinOp>(std::move(outer), std::move(inner),
+                                            plan.left_key, plan.right_key);
+      break;
     }
     case PlanKind::kMergeJoin: {
       XPRS_ASSIGN_OR_RETURN(
@@ -65,8 +71,9 @@ StatusOr<std::unique_ptr<Operator>> Build(const PlanNode& plan,
                 partition_leftmost));
       XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
                             Build(*plan.right, ctx, 1, 0, false));
-      return std::unique_ptr<Operator>(std::make_unique<MergeJoinOp>(
-          std::move(outer), std::move(inner), plan.left_key, plan.right_key));
+      op = std::make_unique<MergeJoinOp>(std::move(outer), std::move(inner),
+                                         plan.left_key, plan.right_key);
+      break;
     }
     case PlanKind::kHashJoin: {
       XPRS_ASSIGN_OR_RETURN(
@@ -76,15 +83,18 @@ StatusOr<std::unique_ptr<Operator>> Build(const PlanNode& plan,
       XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
                             Build(*plan.right, ctx, 1, 0, false));
       if (ctx.spill.temp_array != nullptr) {
-        return std::unique_ptr<Operator>(std::make_unique<GraceHashJoinOp>(
-            std::move(outer), std::move(inner), plan.left_key,
-            plan.right_key, ctx.spill));
+        op = std::make_unique<GraceHashJoinOp>(std::move(outer),
+                                               std::move(inner), plan.left_key,
+                                               plan.right_key, ctx.spill);
+      } else {
+        op = std::make_unique<HashJoinOp>(std::move(outer), std::move(inner),
+                                          plan.left_key, plan.right_key);
       }
-      return std::unique_ptr<Operator>(std::make_unique<HashJoinOp>(
-          std::move(outer), std::move(inner), plan.left_key, plan.right_key));
+      break;
     }
   }
-  return Status::Internal("unknown plan kind");
+  if (op == nullptr) return Status::Internal("unknown plan kind");
+  return MaybeProfile(std::move(op), &plan, ctx.profile);
 }
 
 }  // namespace

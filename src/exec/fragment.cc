@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/profile.h"
 #include "exec/spill_ops.h"
 
 #include "util/check.h"
@@ -204,7 +205,9 @@ StatusOr<std::unique_ptr<Operator>> BuildFrag(
     const DrivingLeafFactory* factory) {
   // A blocked input is replaced by a source over the producing fragment's
   // materialized output (or by the driving factory if it is the driving
-  // leaf).
+  // leaf). Neither is profiled: a temp source re-emits another fragment's
+  // output (profiling it would double-count the producing node), and the
+  // factory's driven ops are bound to stats by the parallel layer.
   auto blocked = frag.blocked_inputs.find(node);
   if (blocked != frag.blocked_inputs.end()) {
     if (partition_leftmost && factory != nullptr) return (*factory)(node);
@@ -222,17 +225,19 @@ StatusOr<std::unique_ptr<Operator>> BuildFrag(
     return (*factory)(node);
   }
 
+  std::unique_ptr<Operator> op;
   switch (node->kind) {
     case PlanKind::kSeqScan: {
       int n = partition_leftmost ? num_partitions : 1;
       int i = partition_leftmost ? partition_index : 0;
-      return std::unique_ptr<Operator>(
-          std::make_unique<SeqScanOp>(node->table, node->predicate, ctx, n,
-                                      i));
+      op = std::make_unique<SeqScanOp>(node->table, node->predicate, ctx, n,
+                                       i);
+      break;
     }
     case PlanKind::kIndexScan:
-      return std::unique_ptr<Operator>(std::make_unique<IndexScanOp>(
-          node->table, node->predicate, node->index_range, ctx));
+      op = std::make_unique<IndexScanOp>(node->table, node->predicate,
+                                         node->index_range, ctx);
+      break;
     case PlanKind::kSort: {
       XPRS_ASSIGN_OR_RETURN(
           std::unique_ptr<Operator> child,
@@ -240,11 +245,12 @@ StatusOr<std::unique_ptr<Operator>> BuildFrag(
                     num_partitions, partition_index, partition_leftmost,
                     factory));
       if (ctx.spill.temp_array != nullptr) {
-        return std::unique_ptr<Operator>(std::make_unique<ExternalSortOp>(
-            std::move(child), node->sort_key, ctx.spill));
+        op = std::make_unique<ExternalSortOp>(std::move(child),
+                                              node->sort_key, ctx.spill);
+      } else {
+        op = std::make_unique<SortOp>(std::move(child), node->sort_key);
       }
-      return std::unique_ptr<Operator>(
-          std::make_unique<SortOp>(std::move(child), node->sort_key));
+      break;
     }
     case PlanKind::kAggregate: {
       XPRS_ASSIGN_OR_RETURN(
@@ -252,9 +258,10 @@ StatusOr<std::unique_ptr<Operator>> BuildFrag(
           BuildFrag(graph, frag, node->left.get(), inputs, ctx,
                     num_partitions, partition_index, partition_leftmost,
                     factory));
-      return std::unique_ptr<Operator>(std::make_unique<AggregateOp>(
-          std::move(child), node->output_schema, node->agg_func,
-          node->agg_col, node->group_col));
+      op = std::make_unique<AggregateOp>(std::move(child),
+                                         node->output_schema, node->agg_func,
+                                         node->agg_col, node->group_col);
+      break;
     }
     case PlanKind::kNestLoopJoin: {
       XPRS_ASSIGN_OR_RETURN(
@@ -265,9 +272,10 @@ StatusOr<std::unique_ptr<Operator>> BuildFrag(
       XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
                             BuildFrag(graph, frag, node->right.get(), inputs,
                                       ctx, 1, 0, false, nullptr));
-      return std::unique_ptr<Operator>(std::make_unique<NestLoopJoinOp>(
-          std::move(outer), std::move(inner), node->left_key,
-          node->right_key));
+      op = std::make_unique<NestLoopJoinOp>(std::move(outer),
+                                            std::move(inner), node->left_key,
+                                            node->right_key);
+      break;
     }
     case PlanKind::kMergeJoin: {
       XPRS_ASSIGN_OR_RETURN(
@@ -278,9 +286,9 @@ StatusOr<std::unique_ptr<Operator>> BuildFrag(
       XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
                             BuildFrag(graph, frag, node->right.get(), inputs,
                                       ctx, 1, 0, false, nullptr));
-      return std::unique_ptr<Operator>(std::make_unique<MergeJoinOp>(
-          std::move(outer), std::move(inner), node->left_key,
-          node->right_key));
+      op = std::make_unique<MergeJoinOp>(std::move(outer), std::move(inner),
+                                         node->left_key, node->right_key);
+      break;
     }
     case PlanKind::kHashJoin: {
       XPRS_ASSIGN_OR_RETURN(
@@ -292,16 +300,19 @@ StatusOr<std::unique_ptr<Operator>> BuildFrag(
                             BuildFrag(graph, frag, node->right.get(), inputs,
                                       ctx, 1, 0, false, nullptr));
       if (ctx.spill.temp_array != nullptr) {
-        return std::unique_ptr<Operator>(std::make_unique<GraceHashJoinOp>(
-            std::move(outer), std::move(inner), node->left_key,
-            node->right_key, ctx.spill));
+        op = std::make_unique<GraceHashJoinOp>(std::move(outer),
+                                               std::move(inner),
+                                               node->left_key,
+                                               node->right_key, ctx.spill);
+      } else {
+        op = std::make_unique<HashJoinOp>(std::move(outer), std::move(inner),
+                                          node->left_key, node->right_key);
       }
-      return std::unique_ptr<Operator>(std::make_unique<HashJoinOp>(
-          std::move(outer), std::move(inner), node->left_key,
-          node->right_key));
+      break;
     }
   }
-  return Status::Internal("unknown plan kind");
+  if (op == nullptr) return Status::Internal("unknown plan kind");
+  return MaybeProfile(std::move(op), node, ctx.profile);
 }
 
 }  // namespace

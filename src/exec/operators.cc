@@ -63,6 +63,7 @@ Status SeqScanOp::LoadPage(uint32_t page_index) {
     current_ = &direct_page_;
   }
   ++pages_read_;
+  ProfPagesRead(1);
   page_loaded_ = true;
   next_slot_ = 0;
   return Status::OK();
@@ -85,7 +86,7 @@ Status SeqScanOp::Next(Tuple* out, bool* eof) {
       ++next_slot_;
       XPRS_ASSIGN_OR_RETURN(Tuple tuple,
                             Tuple::Deserialize(table_->schema(), data, size));
-      if (predicate_.Eval(tuple)) {
+      if (ProfEval(predicate_, tuple)) {
         *out = std::move(tuple);
         return Status::OK();
       }
@@ -134,7 +135,8 @@ Status IndexScanOp::Next(Tuple* out, bool* eof) {
       XPRS_ASSIGN_OR_RETURN(tuple, table_->file().ReadTuple(tid));
     }
     ++tuples_fetched_;
-    if (predicate_.Eval(tuple)) {
+    ProfPagesRead(1);  // one random page per fetched tuple (§3)
+    if (ProfEval(predicate_, tuple)) {
       *out = std::move(tuple);
       return Status::OK();
     }
@@ -155,7 +157,7 @@ Status FilterOp::Open() { return child_->Open(); }
 Status FilterOp::Next(Tuple* out, bool* eof) {
   for (;;) {
     XPRS_RETURN_IF_ERROR(child_->Next(out, eof));
-    if (*eof || predicate_.Eval(*out)) return Status::OK();
+    if (*eof || ProfEval(predicate_, *out)) return Status::OK();
   }
 }
 
@@ -253,6 +255,7 @@ Status HashJoinOp::Open() {
     ++build_rows_;
   }
   XPRS_RETURN_IF_ERROR(inner_->Close());
+  ProfBuildRows(build_rows_);
   return outer_->Open();
 }
 

@@ -15,6 +15,7 @@
 
 #include "exec/expr.h"
 #include "exec/plan.h"
+#include "exec/profile.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
 
@@ -38,6 +39,10 @@ struct ExecContext {
   /// When spill.temp_array is set, plan builders produce spilling Sort and
   /// HashJoin operators bounded by spill.memory_tuples (§5 extension).
   SpillConfig spill;
+  /// When set, the plan builders bind every operator to the matching
+  /// OperatorStats and insert the timing decorator — the EXPLAIN ANALYZE
+  /// path. Null (the default) keeps execution instrumentation-free.
+  QueryProfile* profile = nullptr;
 };
 
 /// Base iterator.
@@ -56,6 +61,40 @@ class Operator {
 
   /// Output schema.
   virtual const Schema& schema() const = 0;
+
+  /// Binds the operator's internal hooks (pages read, spill bytes,
+  /// predicate-eval time) to shared stats. Null detaches.
+  void set_profile_stats(OperatorStats* stats) { prof_ = stats; }
+  OperatorStats* profile_stats() const { return prof_; }
+
+ protected:
+  // Hot-path hooks: exactly one pointer test each when profiling is off.
+  void ProfPagesRead(uint64_t n) {
+    if (prof_) prof_->pages_read.fetch_add(n, std::memory_order_relaxed);
+  }
+  void ProfPagesWritten(uint64_t n) {
+    if (prof_) prof_->pages_written.fetch_add(n, std::memory_order_relaxed);
+  }
+  void ProfSpill(uint64_t bytes, uint64_t runs) {
+    if (prof_) {
+      prof_->spill_bytes.fetch_add(bytes, std::memory_order_relaxed);
+      prof_->spill_runs.fetch_add(runs, std::memory_order_relaxed);
+    }
+  }
+  void ProfBuildRows(uint64_t n) {
+    if (prof_) prof_->build_rows.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Evaluates `pred` against `t`, timing the evaluation when profiling.
+  bool ProfEval(const Predicate& pred, const Tuple& t) {
+    if (prof_ == nullptr) return pred.Eval(t);
+    const uint64_t t0 = ProfileNowNs();
+    const bool pass = pred.Eval(t);
+    prof_->eval_ns.fetch_add(ProfileNowNs() - t0, std::memory_order_relaxed);
+    prof_->evals.fetch_add(1, std::memory_order_relaxed);
+    return pass;
+  }
+
+  OperatorStats* prof_ = nullptr;
 };
 
 /// Sequential scan over a heap file with an optional static page partition:

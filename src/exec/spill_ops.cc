@@ -49,6 +49,9 @@ Status ExternalSortOp::SpillRun(std::vector<Tuple>* run) {
       NextTempName("tmp_sort"), child_->schema(), config_.temp_array);
   for (const Tuple& t : *run) XPRS_RETURN_IF_ERROR(cursor->file->Append(t));
   XPRS_RETURN_IF_ERROR(cursor->file->Flush());
+  ProfPagesWritten(cursor->file->num_pages());
+  ProfSpill(static_cast<uint64_t>(cursor->file->num_pages()) * kPageSize,
+            /*runs=*/1);
   runs_.push_back(std::move(cursor));
   ++runs_spilled_;
   run->clear();
@@ -66,6 +69,7 @@ Status ExternalSortOp::AdvanceCursor(RunCursor* cursor) {
       }
       XPRS_RETURN_IF_ERROR(
           cursor->file->ReadPage(cursor->page, &cursor->buffer));
+      ProfPagesRead(1);
       cursor->loaded = true;
       cursor->slot = 0;
     }
@@ -181,6 +185,7 @@ Status GraceHashJoinOp::ScanFile(
   Page page;
   for (uint32_t p = 0; p < file->num_pages(); ++p) {
     XPRS_RETURN_IF_ERROR(file->ReadPage(p, &page));
+    ProfPagesRead(1);
     for (uint16_t s = 0; s < page.num_tuples(); ++s) {
       const uint8_t* data;
       uint16_t size;
@@ -214,6 +219,10 @@ Status GraceHashJoinOp::PartitionInput(
         (*parts)[h % static_cast<uint32_t>(num_partitions_)]->Append(tuple));
   }
   for (auto& f : *parts) XPRS_RETURN_IF_ERROR(f->Flush());
+  uint64_t pages = 0;
+  for (auto& f : *parts) pages += f->num_pages();
+  ProfPagesWritten(pages);
+  ProfSpill(pages * kPageSize, /*runs=*/parts->size());
   return Status::OK();
 }
 
@@ -227,6 +236,7 @@ Status GraceHashJoinOp::LoadPartition(int index) {
         if (KeyOf(t, right_key_, &k)) table_.emplace(k, std::move(t));
         return Status::OK();
       }));
+  ProfBuildRows(table_.size());
   XPRS_RETURN_IF_ERROR(ScanFile(
       probe_parts_[index].get(), outer_->schema(), [this](Tuple t) {
         probe_rows_.push_back(std::move(t));
@@ -265,6 +275,7 @@ Status GraceHashJoinOp::Open() {
       int32_t k;
       if (KeyOf(t, right_key_, &k)) table_.emplace(k, std::move(t));
     }
+    ProfBuildRows(table_.size());
     return outer_->Open();
   }
 
@@ -297,6 +308,10 @@ Status GraceHashJoinOp::Open() {
   }
   XPRS_RETURN_IF_ERROR(inner_->Close());
   for (auto& f : build_parts_) XPRS_RETURN_IF_ERROR(f->Flush());
+  uint64_t build_pages = 0;
+  for (auto& f : build_parts_) build_pages += f->num_pages();
+  ProfPagesWritten(build_pages);
+  ProfSpill(build_pages * kPageSize, /*runs=*/build_parts_.size());
 
   XPRS_RETURN_IF_ERROR(outer_->Open());
   XPRS_RETURN_IF_ERROR(

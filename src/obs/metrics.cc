@@ -1,23 +1,10 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+
 #include "util/str.h"
 
 namespace xprs {
-
-void Gauge::Set(double v) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  value_ = v;
-}
-
-void Gauge::Add(double delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  value_ += delta;
-}
-
-double Gauge::value() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return value_;
-}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
@@ -60,6 +47,33 @@ double Histogram::max() const {
 std::vector<uint64_t> Histogram::bucket_counts() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return buckets_;
+}
+
+double Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Find the bucket holding the q-th sample, then interpolate linearly
+  // between its bounds by the rank's position within the bucket.
+  const double rank = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[b];
+    if (rank > static_cast<double>(seen)) continue;
+    // Bucket b spans (lo, hi]: lo = bounds_[b-1] (min_ for the first),
+    // hi = bounds_[b] (max_ for the overflow bucket).
+    double lo = b == 0 ? min_ : bounds_[b - 1];
+    double hi = b < bounds_.size() ? bounds_[b] : max_;
+    lo = std::max(lo, min_);
+    hi = std::min(hi, max_);
+    if (hi <= lo) return hi;
+    const double frac = (rank - before) / static_cast<double>(buckets_[b]);
+    return lo + frac * (hi - lo);
+  }
+  return max_;
 }
 
 std::vector<double> MetricsRegistry::DefaultBounds() {
@@ -121,7 +135,9 @@ std::string MetricsRegistry::DumpJson() const {
       first_b = false;
       out += StrFormat("%llu", static_cast<unsigned long long>(b));
     }
-    out += "]}";
+    out += StrFormat("],\"p50\":%.9g,\"p95\":%.9g,\"p99\":%.9g}",
+                     h->Percentile(0.50), h->Percentile(0.95),
+                     h->Percentile(0.99));
   }
   out += "}}";
   return out;

@@ -33,15 +33,22 @@ class Counter {
 };
 
 /// Last-value gauge with an accumulate helper (utilization integrals).
+/// Lock-free: the profiler hits gauges per fragment event, concurrently
+/// with the scheduler's own publishing.
 class Gauge {
  public:
-  void Set(double v);
-  void Add(double delta);
-  double value() const;
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // atomic<double> has no fetch_add pre-C++20; CAS loop instead.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  mutable std::mutex mutex_;
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-boundary histogram: counts per bucket plus sum/min/max.
@@ -60,6 +67,11 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<uint64_t> bucket_counts() const;
+
+  /// Estimated value at quantile `q` in [0, 1], linearly interpolated
+  /// within the containing bucket and clamped to the observed [min, max].
+  /// Returns 0 when empty.
+  double Percentile(double q) const;
 
  private:
   const std::vector<double> bounds_;

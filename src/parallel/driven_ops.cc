@@ -45,6 +45,7 @@ Status DrivenSeqScanOp::Next(Tuple* out, bool* eof) {
         XPRS_RETURN_IF_ERROR(table_->file().ReadPage(*page, &direct_page_));
         current_ = &direct_page_;
       }
+      ProfPagesRead(1);
       page_loaded_ = true;
       next_slot_ = 0;
     }
@@ -55,7 +56,7 @@ Status DrivenSeqScanOp::Next(Tuple* out, bool* eof) {
       ++next_slot_;
       XPRS_ASSIGN_OR_RETURN(Tuple tuple,
                             Tuple::Deserialize(table_->schema(), data, size));
-      if (predicate_.Eval(tuple)) {
+      if (ProfEval(predicate_, tuple)) {
         *out = std::move(tuple);
         return Status::OK();
       }
@@ -112,7 +113,8 @@ Status DrivenIndexScanOp::Next(Tuple* out, bool* eof) {
     } else {
       XPRS_ASSIGN_OR_RETURN(tuple, table_->file().ReadTuple(tid));
     }
-    if (predicate_.Eval(tuple)) {
+    ProfPagesRead(1);  // one random page per fetched tuple (§3)
+    if (ProfEval(predicate_, tuple)) {
       *out = std::move(tuple);
       return Status::OK();
     }

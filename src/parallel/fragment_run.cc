@@ -57,18 +57,25 @@ StatusOr<std::unique_ptr<Operator>> ParallelFragmentRun::BuildPipeline(
   DrivingLeafFactory factory =
       [this, slot](const PlanNode* leaf) -> StatusOr<std::unique_ptr<Operator>> {
     if (driving_is_temp_) {
+      // Not profiled: a temp source re-emits the producing fragment's
+      // already-counted output.
       const Fragment& frag = graph_->fragment(frag_id_);
       const TempResult* temp = inputs_.at(frag.blocked_inputs.at(leaf));
       return std::unique_ptr<Operator>(std::make_unique<DrivenTempSourceOp>(
           temp, page_scan_.get(), slot));
     }
     if (leaf->kind == PlanKind::kSeqScan) {
-      return std::unique_ptr<Operator>(std::make_unique<DrivenSeqScanOp>(
-          leaf->table, leaf->predicate, options_.ctx, page_scan_.get(),
-          slot));
+      return MaybeProfile(
+          std::make_unique<DrivenSeqScanOp>(leaf->table, leaf->predicate,
+                                            options_.ctx, page_scan_.get(),
+                                            slot),
+          leaf, options_.ctx.profile);
     }
-    return std::unique_ptr<Operator>(std::make_unique<DrivenIndexScanOp>(
-        leaf->table, leaf->predicate, options_.ctx, range_scan_.get(), slot));
+    return MaybeProfile(
+        std::make_unique<DrivenIndexScanOp>(leaf->table, leaf->predicate,
+                                            options_.ctx, range_scan_.get(),
+                                            slot),
+        leaf, options_.ctx.profile);
   };
   return BuildFragmentOperatorsWithDriver(*graph_, frag_id_, inputs_,
                                           options_.ctx, factory);
@@ -103,6 +110,7 @@ void ParallelFragmentRun::SlaveMain(int slot) {
     bool scan_done = page_scan_ ? page_scan_->Done() : range_scan_->Done();
     if (running_slaves_ == 0 && (scan_done || !first_error_.ok())) {
       finished_ = true;
+      finish_ns_ = ProfileNowNs();
       is_last = true;
     }
   }
@@ -121,6 +129,7 @@ Status ParallelFragmentRun::Start() {
   std::lock_guard<std::mutex> lock(mutex_);
   XPRS_CHECK(!started_);
   started_ = true;
+  start_ns_ = finish_ns_ = ProfileNowNs();
   if (total_granules_ == 0) {
     finished_ = true;
     done_cv_.notify_all();
@@ -212,6 +221,23 @@ StatusOr<TempResult> ParallelFragmentRun::Wait() {
     if (!any && !grouped && root->agg_func == AggFunc::kCount) {
       result.tuples.push_back(Tuple({Value(int32_t{0})}));
     }
+  }
+
+  if (QueryProfile* profile = options_.ctx.profile;
+      profile != nullptr && profile->Covers(root)) {
+    FragmentStats stats;
+    stats.frag_id = frag_id_;
+    stats.root_label = OperatorLabel(*root);
+    stats.partition_kind =
+        driving_is_temp_ ? "batches" : (page_scan_ ? "pages" : "range");
+    stats.granules = total_granules_;
+    stats.initial_parallelism = options_.initial_parallelism;
+    stats.final_parallelism = current_parallelism_;
+    stats.adjustments = num_adjustments();
+    stats.slaves_spawned = static_cast<int>(threads_.size());
+    stats.wall_seconds = 1e-9 * static_cast<double>(finish_ns_ - start_ns_);
+    stats.tuples_out = result.tuples.size();
+    profile->RecordFragment(stats);
   }
   return result;
 }

@@ -90,6 +90,11 @@ class ParallelFragmentRun {
   bool driving_is_temp_ = false;
   uint32_t total_granules_ = 0;
 
+  // Wall-clock bounds (ProfileNowNs) for the profile's FragmentStats:
+  // Start() to last-slave-finished.
+  uint64_t start_ns_ = 0;
+  uint64_t finish_ns_ = 0;
+
   mutable std::mutex mutex_;
   std::condition_variable done_cv_;
   std::vector<std::thread> threads_;

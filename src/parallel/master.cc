@@ -9,6 +9,25 @@
 
 namespace xprs {
 
+namespace {
+
+// Appends one entry to the profile's §2.4 parallelism timeline, if the
+// query being profiled owns this fragment.
+void RecordTimeline(QueryProfile* profile, const PlanNode* frag_root,
+                    AdjustmentEvent::Kind kind, double time, int frag_id,
+                    TaskId task, double parallelism) {
+  if (profile == nullptr || !profile->Covers(frag_root)) return;
+  AdjustmentEvent event;
+  event.kind = kind;
+  event.time_seconds = time;
+  event.frag_id = frag_id;
+  event.task = task;
+  event.parallelism = parallelism;
+  profile->RecordEvent(event);
+}
+
+}  // namespace
+
 ParallelMaster::ParallelMaster(const MachineConfig& machine,
                                const CostModel* model,
                                const MasterOptions& options)
@@ -54,6 +73,10 @@ void ParallelMaster::StartTask(TaskId id, double parallelism) {
   }
   if (options_.obs.metrics != nullptr)
     options_.obs.metrics->counter("parallel.fragments_started")->Increment();
+  RecordTimeline(options_.ctx.profile,
+                 query.graph.fragment(task.frag_id).root,
+                 AdjustmentEvent::Kind::kStart, Now(), task.frag_id, id,
+                 run_options.initial_parallelism);
   task.run->set_on_finish([this, id] {
     {
       std::lock_guard<std::mutex> lock(done_mutex_);
@@ -75,6 +98,10 @@ void ParallelMaster::AdjustParallelism(TaskId id, double parallelism) {
   }
   if (options_.obs.metrics != nullptr)
     options_.obs.metrics->counter("parallel.adjustments")->Increment();
+  RecordTimeline(options_.ctx.profile,
+                 queries_[task.query_index].graph.fragment(task.frag_id).root,
+                 AdjustmentEvent::Kind::kAdjust, Now(), task.frag_id, id,
+                 target);
 }
 
 double ParallelMaster::RemainingSeqTime(TaskId id) const {
@@ -148,6 +175,10 @@ StatusOr<MasterRunResult> ParallelMaster::Run(
     if (options_.obs.metrics != nullptr)
       options_.obs.metrics->counter("parallel.fragments_completed")
           ->Increment();
+    RecordTimeline(options_.ctx.profile,
+                   queries_[task.query_index].graph.fragment(task.frag_id).root,
+                   AdjustmentEvent::Kind::kFinish, Now(), task.frag_id, id,
+                   task.run->parallelism());
     ++completed;
     // The scheduler may immediately start or adjust other tasks here.
     scheduler.OnTaskFinished(id);

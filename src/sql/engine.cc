@@ -7,6 +7,45 @@
 
 namespace xprs {
 
+namespace {
+
+// Writes every node's cumulative optimizer estimate into the profile so
+// EXPLAIN ANALYZE can print actual-vs-estimated side by side.
+void AnnotateEstimates(const CostModel& model, const PlanNode& node,
+                       QueryProfile* profile) {
+  PlanEstimate est = model.Estimate(node);
+  profile->SetEstimate(&node, est.rows, est.ios, est.seq_time);
+  if (node.left) AnnotateEstimates(model, *node.left, profile);
+  if (node.right) AnnotateEstimates(model, *node.right, profile);
+}
+
+// Estimated CPU/disk utilization timeline: run the adaptive scheduler over
+// the plan's fragment profiles in the fluid resource model — the same
+// machinery parcost uses — and sample its utilization trace.
+void AnnotateUtilization(const MachineConfig& machine, const CostModel& model,
+                         const PlanNode& plan, const SchedulerOptions& sched,
+                         QueryProfile* profile) {
+  FragmentGraph graph = FragmentGraph::Decompose(plan);
+  std::vector<TaskProfile> tasks =
+      model.FragmentProfiles(graph, /*query_id=*/0, /*id_base=*/0);
+  FluidSimulator sim(machine);
+  AdaptiveScheduler scheduler(machine, sched);
+  SimResult result = sim.Run(&scheduler, tasks);
+  if (!result.ok()) return;  // estimate only; profile stays usable
+  for (const SimTraceSample& s : sim.trace()) {
+    UtilSample sample;
+    sample.time = s.time;
+    sample.duration = s.duration;
+    sample.cpus_busy = s.cpus_busy;
+    sample.io_rate = s.io_rate;
+    sample.effective_bw = s.effective_bw;
+    sample.tasks_running = s.tasks_running;
+    profile->AddUtilSample(sample);
+  }
+}
+
+}  // namespace
+
 std::string SqlResult::ToString() const {
   std::string out = schema.ToString() + "\n";
   for (const auto& row : rows) {
@@ -107,9 +146,15 @@ StatusOr<SqlEngine::Bound> SqlEngine::Bind(const std::string& sql) const {
 
 StatusOr<SqlResult> SqlEngine::Run(const std::string& sql,
                                    const ExecContext* ctx, TreeShape shape,
-                                   const MasterOptions* master) {
+                                   const MasterOptions* master,
+                                   bool force_analyze) {
   XPRS_ASSIGN_OR_RETURN(Bound bound, Bind(sql));
   const ParsedQuery& parsed = bound.parsed;
+
+  // Inline EXPLAIN [ANALYZE] prefixes: plain EXPLAIN degrades to plan-only;
+  // ANALYZE executes with profiling attached.
+  const bool analyze = force_analyze || parsed.analyze;
+  if (parsed.explain && !analyze) ctx = nullptr;
 
   // Validate the select list shape.
   size_t num_aggs = 0;
@@ -153,9 +198,36 @@ StatusOr<SqlResult> SqlEngine::Run(const std::string& sql,
   result.parcost = optimized.parcost;
   result.plan_text = plan->ToString();
 
+  // `plan` may be moved into the profile below; use the raw pointer after
+  // this point.
+  const PlanNode* planp = plan.get();
+
   if (ctx == nullptr) {  // EXPLAIN
-    result.schema = plan->output_schema;
+    result.schema = planp->output_schema;
     return result;
+  }
+
+  // EXPLAIN ANALYZE: build the profile over the final plan (aggregate
+  // included), annotate per-node estimates and the fluid-sim utilization
+  // timeline, and attach it to the execution context(s).
+  std::shared_ptr<QueryProfile> profile;
+  ExecContext profiled_ctx;
+  MasterOptions profiled_master;
+  if (analyze) {
+    profile = std::make_shared<QueryProfile>(planp);
+    AnnotateEstimates(*model_, *planp, profile.get());
+    AnnotateUtilization(machine_, *model_, *planp,
+                        master != nullptr ? master->sched : SchedulerOptions(),
+                        profile.get());
+    profile->AdoptPlan(std::move(plan));
+    profiled_ctx = *ctx;
+    profiled_ctx.profile = profile.get();
+    ctx = &profiled_ctx;
+    if (master != nullptr) {
+      profiled_master = *master;
+      profiled_master.ctx.profile = profile.get();
+      master = &profiled_master;
+    }
   }
 
   std::vector<Tuple> rows;
@@ -164,14 +236,26 @@ StatusOr<SqlResult> SqlEngine::Run(const std::string& sql,
     // under the adaptive scheduler.
     ParallelMaster backend(machine_, model_, *master);
     XPRS_ASSIGN_OR_RETURN(MasterRunResult run,
-                          backend.Run({{plan.get(), /*query_id=*/0}}));
+                          backend.Run({{planp, /*query_id=*/0}}));
     rows = std::move(run.query_results.at(0));
   } else {
-    XPRS_ASSIGN_OR_RETURN(rows, ExecutePlanSequential(*plan, *ctx));
+    XPRS_ASSIGN_OR_RETURN(rows, ExecutePlanSequential(*planp, *ctx));
+  }
+
+  if (profile != nullptr) {
+    result.analyze_text = profile->ToText();
+    result.analyze_json = profile->ToJson();
+    result.profile = profile;
+    // Reconcile with any attached observability: publish profile.* counters
+    // and the utilization timeline next to the scheduler's own events.
+    if (master != nullptr) {
+      profile->PublishMetrics(master->obs.metrics);
+      profile->EmitTrace(master->obs.trace);
+    }
   }
 
   if (num_aggs == 1) {
-    result.schema = plan->output_schema;
+    result.schema = planp->output_schema;
     result.rows = std::move(rows);
     return result;
   }
@@ -232,6 +316,17 @@ StatusOr<SqlResult> SqlEngine::ExecuteParallel(const std::string& sql,
                                                const MasterOptions& options,
                                                TreeShape shape) {
   return Run(sql, &options.ctx, shape, &options);
+}
+
+StatusOr<SqlResult> SqlEngine::ExplainAnalyze(const std::string& sql,
+                                              const ExecContext& ctx,
+                                              TreeShape shape) {
+  return Run(sql, &ctx, shape, nullptr, /*force_analyze=*/true);
+}
+
+StatusOr<SqlResult> SqlEngine::ExplainAnalyzeParallel(
+    const std::string& sql, const MasterOptions& options, TreeShape shape) {
+  return Run(sql, &options.ctx, shape, &options, /*force_analyze=*/true);
 }
 
 }  // namespace xprs

@@ -5,6 +5,7 @@
 #ifndef XPRS_SQL_ENGINE_H_
 #define XPRS_SQL_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,15 @@ struct SqlResult {
   double parcost = 0.0;
   /// Pretty-printed physical plan (EXPLAIN-style).
   std::string plan_text;
+
+  /// EXPLAIN ANALYZE only: annotated plan with actual rows/pages/time next
+  /// to the optimizer estimates, plus the fragment / adjustment-timeline /
+  /// utilization sections for parallel runs. Empty otherwise.
+  std::string analyze_text;
+  /// EXPLAIN ANALYZE only: the same report as a JSON document.
+  std::string analyze_json;
+  /// EXPLAIN ANALYZE only: the raw profile behind the reports.
+  std::shared_ptr<QueryProfile> profile;
 
   std::string ToString() const;
 };
@@ -50,6 +60,20 @@ class SqlEngine {
       const std::string& sql, const MasterOptions& options = MasterOptions(),
       TreeShape shape = TreeShape::kBushy);
 
+  /// EXPLAIN ANALYZE: executes `sql` with a QueryProfile attached and fills
+  /// analyze_text / analyze_json / profile (actual-vs-estimated per
+  /// operator). The SQL text itself may also carry an `EXPLAIN ANALYZE`
+  /// prefix through Execute / ExecuteParallel with the same effect.
+  StatusOr<SqlResult> ExplainAnalyze(const std::string& sql,
+                                     const ExecContext& ctx = ExecContext(),
+                                     TreeShape shape = TreeShape::kBushy);
+
+  /// EXPLAIN ANALYZE through the parallel master: the report additionally
+  /// carries per-fragment stats and the §2.4 adjustment timeline.
+  StatusOr<SqlResult> ExplainAnalyzeParallel(
+      const std::string& sql, const MasterOptions& options = MasterOptions(),
+      TreeShape shape = TreeShape::kBushy);
+
  private:
   struct Bound {
     QuerySpec spec;
@@ -68,7 +92,8 @@ class SqlEngine {
 
   StatusOr<SqlResult> Run(const std::string& sql, const ExecContext* ctx,
                           TreeShape shape,
-                          const MasterOptions* master = nullptr);
+                          const MasterOptions* master = nullptr,
+                          bool force_analyze = false);
 
   Catalog* const catalog_;
   MachineConfig machine_;

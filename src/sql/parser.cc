@@ -16,6 +16,10 @@ class Parser {
 
   StatusOr<ParsedQuery> Parse() {
     ParsedQuery q;
+    if (AcceptKeyword("explain")) {
+      q.explain = true;
+      q.analyze = AcceptKeyword("analyze");
+    }
     XPRS_RETURN_IF_ERROR(ExpectKeyword("select"));
     XPRS_RETURN_IF_ERROR(ParseSelectList(&q));
     XPRS_RETURN_IF_ERROR(ExpectKeyword("from"));

@@ -3,6 +3,7 @@
 // Supported dialect (enough for the paper's workloads — selections,
 // multi-way equi-joins, aggregates):
 //
+//   [EXPLAIN [ANALYZE]]
 //   SELECT <item> [, <item>]*
 //   FROM <table> [alias] [, <table> [alias]]*
 //   [WHERE <cond> [AND <cond>]*]
@@ -70,6 +71,10 @@ struct ParsedQuery {
   std::vector<SqlTableRef> from;
   std::vector<SqlCondition> where;
   std::optional<SqlColumnRef> group_by;
+  /// EXPLAIN <select>: plan only, no execution.
+  bool explain = false;
+  /// EXPLAIN ANALYZE <select>: execute with profiling, report actuals.
+  bool analyze = false;
 };
 
 /// Parses one SELECT statement.

@@ -152,6 +152,27 @@ Status DifferentialOracle::CheckPlan(const PlanNode& plan) {
     XPRS_RETURN_IF_ERROR(Compare(plan, "master", reference, got));
   }
 
+  if (options_.run_profiled) {
+    // Profiling decorators must be invisible to the result, and the
+    // profile's root operator must account for every reference row.
+    QueryProfile profile(&plan);
+    ExecContext ctx;
+    ctx.profile = &profile;
+    XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got,
+                          ExecutePlanSequential(plan, ctx));
+    XPRS_RETURN_IF_ERROR(Compare(plan, "profiled", reference, got));
+    const uint64_t root_out =
+        profile.operators().front()->tuples_out.load(std::memory_order_relaxed);
+    if (root_out != ref.size()) {
+      return Status::Internal(StrFormat(
+          "profiled run: root operator counted %llu tuples, reference has "
+          "%llu\nplan:\n%s",
+          static_cast<unsigned long long>(root_out),
+          static_cast<unsigned long long>(ref.size()),
+          plan.ToString().c_str()));
+    }
+  }
+
   if (options_.run_spill) {
     ExecContext ctx;
     ctx.spill.temp_array = &temp_array_;

@@ -13,6 +13,8 @@
 //   - master           the full ParallelMaster control loop under the
 //                      adaptive scheduler (§2.5); the decision log is
 //                      validated with ValidateSchedDecisions
+//   - profiled         ExecutePlanSequential with a QueryProfile attached;
+//                      the instrumentation must be invisible to the result
 //   - spill            memory-constrained external sort / grace hash join
 //                      (§5 extension) over a temp disk array
 //   - pooled           reads through a small shared BufferPool; the run
@@ -54,6 +56,10 @@ struct DifferentialOptions {
   bool run_master = true;
   bool run_spill = true;
   bool run_buffer_pool = true;
+  /// Re-run sequentially with a QueryProfile attached: the instrumentation
+  /// decorators must not change the result, and the profile's root
+  /// tuples_out must equal the reference cardinality.
+  bool run_profiled = true;
   /// Issue random Adjust() calls while parallel fragments run.
   bool adjust_during_run = true;
   /// Spill threshold (tuples in memory per operator). Small enough that

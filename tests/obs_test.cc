@@ -5,7 +5,6 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,142 +12,10 @@
 #include "obs/obs.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
+#include "testing/json_checker.h"
 
 namespace xprs {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal JSON validity checker: verifies one complete JSON value spans the
-// whole input. Enough to guarantee Perfetto/chrome://tracing can parse the
-// export; not a general-purpose parser.
-
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& s) : s_(s) {}
-
-  bool Valid() {
-    pos_ = 0;
-    SkipWs();
-    if (!Value()) return false;
-    SkipWs();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{':
-        return Object();
-      case '[':
-        return Array();
-      case '"':
-        return String();
-      case 't':
-        return Literal("true");
-      case 'f':
-        return Literal("false");
-      case 'n':
-        return Literal("null");
-      default:
-        return Number();
-    }
-  }
-
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek() == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      SkipWs();
-      if (!String()) return false;
-      SkipWs();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool Array() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek() == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-      }
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool Number() {
-    size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-'))
-      ++pos_;
-    return pos_ > start;
-  }
-
-  bool Literal(const char* lit) {
-    size_t n = std::string(lit).size();
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void SkipWs() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
 
 // ---------------------------------------------------------------------------
 // Chrome trace exporter.
@@ -290,6 +157,53 @@ TEST(MetricsTest, CounterGaugeHistogramBasics) {
   EXPECT_DOUBLE_EQ(h->min(), 0.5);
   EXPECT_DOUBLE_EQ(h->max(), 50.0);
   EXPECT_EQ(h->bucket_counts(), (std::vector<uint64_t>{1, 1, 1}));
+}
+
+TEST(MetricsTest, GaugeConcurrentAddIsLossless) {
+  Gauge g;
+  constexpr int kThreads = 4, kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(0.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 0.5 sums exactly in binary floating point, so CAS losslessness is
+  // checkable with equality.
+  EXPECT_DOUBLE_EQ(g.value(), 0.5 * kThreads * kPerThread);
+}
+
+TEST(MetricsTest, HistogramPercentiles) {
+  Histogram h({10.0, 20.0, 30.0});
+  // 100 samples spread uniformly over (0, 30]: ~p50 lands mid-range.
+  for (int i = 1; i <= 100; ++i) h.Observe(0.3 * i);
+  // p50 rank = 50 → 17th sample of the (10,20] bucket (33 below 10.2..20).
+  EXPECT_NEAR(h.Percentile(0.50), 15.0, 1.5);
+  EXPECT_NEAR(h.Percentile(0.95), 28.5, 1.5);
+  // Bounds clamp to the observed extremes.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.3);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 30.0);
+  // Percentiles never exceed the observed max even in the overflow bucket.
+  Histogram over({1.0});
+  over.Observe(5.0);
+  over.Observe(7.0);
+  EXPECT_LE(over.Percentile(0.99), 7.0);
+  EXPECT_GE(over.Percentile(0.50), 5.0);
+  // Empty histogram reports 0.
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+}
+
+TEST(MetricsTest, DumpJsonIncludesPercentiles) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat", {1.0, 10.0});
+  for (int i = 0; i < 10; ++i) h->Observe(0.5);
+  std::string json = reg.DumpJson();
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
 }
 
 TEST(MetricsTest, DumpJsonIsValidAndSorted) {

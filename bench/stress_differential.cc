@@ -1,6 +1,7 @@
 // Long-running differential stress driver.
 //
-//   stress_differential [--seed=N] [--iters=N] [--fault-rate=P]
+//   stress_differential [--seed=N] [--iters=N] [--fault-rate=P] [--chaos]
+//                       [--timeout-ms=N]
 //
 // Each iteration builds a fresh random workload, generates a batch of
 // queries and pushes every one through the full differential oracle
@@ -8,16 +9,29 @@
 // pooled), the deterministic fault-hook cases, the random-rate read-fault
 // case and the §2.2 scan io conservation check.
 //
+// --chaos additionally re-runs every query through CheckPlanChaos: all
+// modes execute with a rate-`--fault-rate` read-fault injector armed, and
+// must either match the reference or fail retryably (the resilience
+// ladder's recoveries show up in the per-iteration report).
+//
+// --timeout-ms=N arms a watchdog: any single oracle call that runs longer
+// than N ms (a hang, a livelock, a runaway retry loop) prints the replay
+// seed and aborts, so the stuck state is debuggable instead of silent.
+//
 // The effective seed is printed on startup; any failure is replayable with
 // `stress_differential --seed=<printed seed>` (or XPRS_SEED=<seed> when
 // --seed was not given explicitly).
 
+#include <chrono>
 #include <cinttypes>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "storage/disk_array.h"
@@ -36,6 +50,65 @@ bool ParseFlag(const char* arg, const char* name, const char** value) {
   return true;
 }
 
+// Per-call watchdog: Beat() before each oracle call; if any call then runs
+// past the timeout, print the replay seed and abort. Disabled when
+// timeout_ms <= 0.
+class Watchdog {
+ public:
+  Watchdog(int timeout_ms, uint64_t seed) : timeout_ms_(timeout_ms),
+                                            seed_(seed) {
+    if (timeout_ms_ <= 0) return;
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~Watchdog() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void Beat(int iter, int query) {
+    if (!thread_.joinable()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    iter_ = iter;
+    query_ = query;
+    last_beat_ = std::chrono::steady_clock::now();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    last_beat_ = std::chrono::steady_clock::now();
+    while (!done_) {
+      const auto deadline =
+          last_beat_ + std::chrono::milliseconds(timeout_ms_);
+      if (cv_.wait_until(lock, deadline, [this] { return done_; })) return;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr,
+                     "stress_differential: WATCHDOG — iter %d query %d "
+                     "exceeded %d ms; replay with --seed=%" PRIu64 "\n",
+                     iter_, query_, timeout_ms_, seed_);
+        std::fflush(stderr);
+        std::abort();
+      }
+    }
+  }
+
+  const int timeout_ms_;
+  const uint64_t seed_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool done_ = false;
+  int iter_ = 0;
+  int query_ = 0;
+  std::chrono::steady_clock::time_point last_beat_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,6 +116,8 @@ int main(int argc, char** argv) {
   int iters = 200;
   double fault_rate = 0.02;
   int queries_per_iter = 4;
+  bool chaos = false;
+  int timeout_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
@@ -52,17 +127,25 @@ int main(int argc, char** argv) {
       iters = std::atoi(value);
     } else if (ParseFlag(argv[i], "--fault-rate", &value)) {
       fault_rate = std::atof(value);
+    } else if (ParseFlag(argv[i], "--timeout-ms", &value)) {
+      timeout_ms = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seed=N] [--iters=N] [--fault-rate=P]\n",
+                   "usage: %s [--seed=N] [--iters=N] [--fault-rate=P] "
+                   "[--chaos] [--timeout-ms=N]\n",
                    argv[0]);
       return 2;
     }
   }
   std::printf("stress_differential: seed=%" PRIu64
-              " iters=%d fault_rate=%g (replay: --seed=%" PRIu64 ")\n",
-              seed, iters, fault_rate, seed);
+              " iters=%d fault_rate=%g chaos=%d timeout_ms=%d "
+              "(replay: --seed=%" PRIu64 ")\n",
+              seed, iters, fault_rate, chaos ? 1 : 0, timeout_ms, seed);
   std::fflush(stdout);
+
+  Watchdog watchdog(timeout_ms, seed);
 
   xprs::Rng rng(seed);
   uint64_t queries_checked = 0;
@@ -83,13 +166,16 @@ int main(int argc, char** argv) {
 
     xprs::DifferentialOptions options;
     options.spill_memory_tuples = 16 + rng.NextUint64(128);
+    if (chaos) options.chaos_read_fault_rate = fault_rate;
     xprs::DifferentialOracle oracle(&array, options, rng.Next());
     xprs::QueryGenerator gen(tables.value(), xprs::QueryGenerator::Options(),
                              rng.Next());
 
     for (int q = 0; q < queries_per_iter; ++q) {
+      watchdog.Beat(iter, q);
       std::unique_ptr<xprs::PlanNode> plan = gen.NextPlan();
       xprs::Status status = oracle.CheckPlan(*plan);
+      if (status.ok() && chaos) status = oracle.CheckPlanChaos(*plan);
       if (status.ok() && q == 0) status = oracle.CheckFaultSurfacing(*plan);
       if (status.ok() && q == 1)
         status = oracle.CheckRandomReadFaults(*plan, fault_rate);
@@ -102,6 +188,7 @@ int main(int argc, char** argv) {
       }
       ++queries_checked;
     }
+    watchdog.Beat(iter, queries_per_iter);
     xprs::Status conservation =
         oracle.CheckScanIoConservation(tables.value()[0]);
     if (!conservation.ok()) {

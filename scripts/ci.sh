@@ -2,10 +2,11 @@
 # CI entry point: build + run the tier1 test suite in the default config,
 # then rebuild under AddressSanitizer + UndefinedBehaviorSanitizer and run
 # everything — tier1 plus the slow randomized harnesses (the differential
-# stress driver). The sanitizer pass exists to catch the class of bugs this
-# repo has been bitten by before: out-of-range std::clamp (UB), data races
-# on metric counters, and use-after-free on handed-out trace/metric
-# pointers.
+# stress driver) — then rebuild once more under ThreadSanitizer and run the
+# concurrency-heavy subset plus a fixed-seed chaos smoke. The sanitizer
+# passes exist to catch the class of bugs this repo has been bitten by
+# before: out-of-range std::clamp (UB), data races on metric counters, and
+# use-after-free on handed-out trace/metric pointers.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -17,12 +18,12 @@ JOBS="${1:-4}"
 # after the full build is a build artifact escaping the gitignored trees.
 STATUS_BEFORE="$(git status --porcelain)"
 
-echo "==> [1/4] default config (tier1)"
+echo "==> [1/6] default config (tier1)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "${JOBS}"
 ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [2/4] profile/trace schema validation"
+echo "==> [2/6] profile/trace schema validation"
 # One profiled bench run, then structural validation of every emitted JSON
 # artifact: the Chrome trace, the metrics snapshot (p50/p95/p99 present on
 # histograms), and the QueryProfile document. Guards the contract consumed
@@ -72,7 +73,7 @@ print(f"profile schema ok: {len(profile['operators'])} operators, "
       f"{len(trace['traceEvents'])} trace events")
 PYEOF
 
-echo "==> [3/4] asan+ubsan config (tier1 + slow)"
+echo "==> [3/6] asan+ubsan config (tier1 + slow)"
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
@@ -84,7 +85,30 @@ cmake --build build-asan -j "${JOBS}"
 ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "==> [4/4] artifact hygiene"
+echo "==> [4/6] tsan config (concurrency subset)"
+# ThreadSanitizer catches the races the resilience layer is most exposed
+# to: the cancellation token, the done-queue control loop, the retry
+# ladder re-launching fragment runs, and buffer-pool admission counters.
+TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
+cmake --build build-tsan -j "${JOBS}"
+TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan \
+  -R '(fault|resilience|parallel|master|throttle|obs_concurrency|spill)_test' \
+  --output-on-failure -j "${JOBS}"
+
+echo "==> [5/6] fixed-seed chaos smoke (tier1-gated)"
+# Runs only once the tier1 + sanitizer stages above are green. Every mode
+# executes under a 2% read-fault injector and must recover or fail
+# retryably; the fixed seed keeps the pass reproducible, and the watchdog
+# turns any hang into a replayable failure.
+./build/bench/stress_differential --seed=20260807 --iters=10 --chaos \
+  --fault-rate=0.02 --timeout-ms=120000
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/stress_differential \
+  --seed=20260807 --iters=3 --chaos --fault-rate=0.02 --timeout-ms=300000
+
+echo "==> [6/6] artifact hygiene"
 # Build trees, object files and trace/metric dumps are gitignored; a full
 # build + test cycle must not add anything to git status. New entries are
 # build artifacts escaping into the source tree — fail loudly.

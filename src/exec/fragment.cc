@@ -210,19 +210,23 @@ StatusOr<std::unique_ptr<Operator>> BuildFrag(
   // factory's driven ops are bound to stats by the parallel layer.
   auto blocked = frag.blocked_inputs.find(node);
   if (blocked != frag.blocked_inputs.end()) {
-    if (partition_leftmost && factory != nullptr) return (*factory)(node);
+    if (partition_leftmost && factory != nullptr) {
+      XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> leaf, (*factory)(node));
+      return MaybeCancelGuard(std::move(leaf), ctx.cancel);
+    }
     auto temp = inputs.find(blocked->second);
     if (temp == inputs.end() || temp->second == nullptr)
       return Status::FailedPrecondition(
           StrFormat("fragment %d input (fragment %d) not materialized",
                     frag.id, blocked->second));
-    return std::unique_ptr<Operator>(
-        std::make_unique<TempSourceOp>(temp->second));
+    return MaybeCancelGuard(std::make_unique<TempSourceOp>(temp->second),
+                            ctx.cancel);
   }
   if (partition_leftmost && factory != nullptr &&
       (node->kind == PlanKind::kSeqScan ||
        node->kind == PlanKind::kIndexScan)) {
-    return (*factory)(node);
+    XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> leaf, (*factory)(node));
+    return MaybeCancelGuard(std::move(leaf), ctx.cancel);
   }
 
   std::unique_ptr<Operator> op;
@@ -312,7 +316,8 @@ StatusOr<std::unique_ptr<Operator>> BuildFrag(
     }
   }
   if (op == nullptr) return Status::Internal("unknown plan kind");
-  return MaybeProfile(std::move(op), node, ctx.profile);
+  return MaybeCancelGuard(MaybeProfile(std::move(op), node, ctx.profile),
+                          ctx.cancel);
 }
 
 }  // namespace

@@ -52,9 +52,16 @@ Status SeqScanOp::Open() {
 }
 
 Status SeqScanOp::LoadPage(uint32_t page_index) {
+  if (ctx_.cancel != nullptr) {
+    Status live = ctx_.cancel->Check();
+    if (!live.ok()) {
+      pooled_page_.Release();
+      return live;
+    }
+  }
   if (ctx_.pool != nullptr) {
     XPRS_ASSIGN_OR_RETURN(BlockId block, table_->file().BlockOf(page_index));
-    auto handle = ctx_.pool->Fetch(block);
+    auto handle = FetchWithBackpressure(ctx_, block);
     if (!handle.ok()) return handle.status();
     pooled_page_ = std::move(handle).value();
     current_ = &pooled_page_.page();
@@ -66,6 +73,13 @@ Status SeqScanOp::LoadPage(uint32_t page_index) {
   ProfPagesRead(1);
   page_loaded_ = true;
   next_slot_ = 0;
+  return Status::OK();
+}
+
+Status SeqScanOp::Close() {
+  pooled_page_ = PageHandle();
+  current_ = nullptr;
+  page_loaded_ = false;
   return Status::OK();
 }
 
@@ -111,7 +125,8 @@ IndexScanOp::IndexScanOp(Table* table, Predicate predicate, KeyRange range,
 }
 
 Status IndexScanOp::Open() {
-  it_ = table_->index()->Scan(range_.lo, range_.hi);
+  XPRS_ASSIGN_OR_RETURN(it_,
+                        table_->index()->ScanChecked(range_.lo, range_.hi));
   tuples_fetched_ = 0;
   return Status::OK();
 }
@@ -119,12 +134,15 @@ Status IndexScanOp::Open() {
 Status IndexScanOp::Next(Tuple* out, bool* eof) {
   *eof = false;
   while (it_->Valid()) {
+    // Every iteration costs a random page read, so a per-tuple poll of the
+    // token is in the noise here.
+    if (ctx_.cancel != nullptr) XPRS_RETURN_IF_ERROR(ctx_.cancel->Check());
     TupleId tid = it_->tid();
     it_->Next();
     Tuple tuple;
     if (ctx_.pool != nullptr) {
       XPRS_ASSIGN_OR_RETURN(BlockId block, table_->file().BlockOf(tid.page));
-      auto handle = ctx_.pool->Fetch(block);
+      auto handle = FetchWithBackpressure(ctx_, block);
       if (!handle.ok()) return handle.status();
       const uint8_t* data;
       uint16_t size;
@@ -538,6 +556,60 @@ Status TempSourceOp::Next(Tuple* out, bool* eof) {
   *eof = false;
   *out = temp_->tuples[pos_++];
   return Status::OK();
+}
+
+// ------------------------------------------------------------ CancelGuard
+
+CancelGuardOp::CancelGuardOp(std::unique_ptr<Operator> child,
+                             CancellationToken* token)
+    : child_(std::move(child)), token_(token) {
+  XPRS_CHECK(child_ != nullptr);
+  XPRS_CHECK(token != nullptr);
+}
+
+Status CancelGuardOp::Open() {
+  XPRS_RETURN_IF_ERROR(token_->Check());
+  calls_ = 0;
+  return child_->Open();
+}
+
+Status CancelGuardOp::Next(Tuple* out, bool* eof) {
+  if (token_->cancelled()) return token_->Check();
+  if ((++calls_ & (kDeadlineStride - 1)) == 0)
+    XPRS_RETURN_IF_ERROR(token_->Check());
+  return child_->Next(out, eof);
+}
+
+std::unique_ptr<Operator> MaybeCancelGuard(std::unique_ptr<Operator> op,
+                                           CancellationToken* token) {
+  if (token == nullptr) return op;
+  return std::make_unique<CancelGuardOp>(std::move(op), token);
+}
+
+// ---------------------------------------------------- FetchWithBackpressure
+
+StatusOr<PageHandle> FetchWithBackpressure(const ExecContext& ctx,
+                                           BlockId block) {
+  XPRS_CHECK(ctx.pool != nullptr);
+  int failures = 0;
+  for (;;) {
+    auto handle = ctx.pool->Fetch(block);
+    if (handle.ok() ||
+        handle.status().code() != StatusCode::kResourceExhausted) {
+      return handle;
+    }
+    if (ctx.fetch_retry == nullptr ||
+        failures + 1 >= ctx.fetch_retry->max_attempts) {
+      EmitResilienceEvent(ctx.obs, "backpressure.exhausted", -1.0,
+                          static_cast<int64_t>(block));
+      return handle;
+    }
+    ++failures;
+    EmitResilienceEvent(ctx.obs, "backpressure.retry", -1.0,
+                        static_cast<int64_t>(block),
+                        {{"failures", failures}});
+    XPRS_RETURN_IF_ERROR(BackoffSleep(*ctx.fetch_retry, failures, ctx.cancel));
+  }
 }
 
 // ------------------------------------------------------------------ Drain

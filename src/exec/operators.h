@@ -16,6 +16,7 @@
 #include "exec/expr.h"
 #include "exec/plan.h"
 #include "exec/profile.h"
+#include "resilience/retry.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
 
@@ -43,6 +44,18 @@ struct ExecContext {
   /// OperatorStats and insert the timing decorator — the EXPLAIN ANALYZE
   /// path. Null (the default) keeps execution instrumentation-free.
   QueryProfile* profile = nullptr;
+  /// Cooperative cancellation / per-query deadline. Nullable. Scans poll
+  /// it at page boundaries; the plan builders additionally insert a
+  /// CancelGuardOp over every operator so blocking drains (sort, hash
+  /// build, aggregate) also terminate promptly.
+  CancellationToken* cancel = nullptr;
+  /// When set, ResourceExhausted from BufferPool::Fetch (admission control
+  /// under memory pressure) is retried with backoff before surfacing; see
+  /// FetchWithBackpressure. Null = a single attempt, pre-existing behavior.
+  const RetryPolicy* fetch_retry = nullptr;
+  /// Trace/metrics target for resilience events raised on the execution
+  /// path (backpressure retries, degradations). Optional.
+  Observability obs;
 };
 
 /// Base iterator.
@@ -107,6 +120,9 @@ class SeqScanOp : public Operator {
 
   Status Open() override;
   Status Next(Tuple* out, bool* eof) override;
+  /// Releases the pooled page pin (idempotent); blocking consumers call
+  /// this on their own error paths so a cancelled drain leaves no pins.
+  Status Close() override;
   const Schema& schema() const override { return table_->schema(); }
 
   /// Pages this scan actually read (after Open).
@@ -303,6 +319,42 @@ class TempSourceOp : public Operator {
   const TempResult* const temp_;
   size_t pos_ = 0;
 };
+
+/// Cancellation decorator inserted by the plan builders when ctx.cancel is
+/// set. Open() checks the token before any work (a 0 ms deadline fails at
+/// the root without touching storage); Next() tests the cancelled flag on
+/// every call and the armed deadline every kDeadlineStride calls, keeping
+/// clock reads off the per-tuple path. Because blocking operators (sort,
+/// hash build, aggregate) drain their children inside Open(), a guard on
+/// the child bounds how long the drain can outlive a cancellation.
+class CancelGuardOp : public Operator {
+ public:
+  CancelGuardOp(std::unique_ptr<Operator> child, CancellationToken* token);
+  Status Open() override;
+  Status Next(Tuple* out, bool* eof) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  static constexpr uint32_t kDeadlineStride = 64;
+
+  std::unique_ptr<Operator> child_;
+  CancellationToken* const token_;
+  uint32_t calls_ = 0;
+};
+
+/// Wraps `op` in a CancelGuardOp when `token` is non-null.
+std::unique_ptr<Operator> MaybeCancelGuard(std::unique_ptr<Operator> op,
+                                           CancellationToken* token);
+
+/// Fetches `block` through ctx.pool (which must be set), absorbing
+/// transient backpressure: ResourceExhausted — the pool's admission
+/// control under memory-pages pressure — is retried per ctx.fetch_retry
+/// with exponential backoff, polling ctx.cancel between attempts, and
+/// emits resilience.backpressure.* events through ctx.obs. Every other
+/// error, and exhaustion of the retry budget, surfaces unchanged.
+StatusOr<PageHandle> FetchWithBackpressure(const ExecContext& ctx,
+                                           BlockId block);
 
 /// Drains an operator into a vector (Open/Next/Close).
 StatusOr<std::vector<Tuple>> Drain(Operator* op);

@@ -91,6 +91,21 @@ Status ExternalSortOp::AdvanceCursor(RunCursor* cursor) {
 }
 
 Status ExternalSortOp::Open() {
+  Status st = OpenImpl();
+  if (!st.ok()) {
+    // Drain() does not Close() an operator whose Open failed: release the
+    // temp runs and buffered rows here — and close the child so it drops
+    // any pooled-page pins — so a sort cancelled (or faulted) mid-spill
+    // leaves nothing behind.
+    rows_.clear();
+    runs_.clear();
+    pos_ = 0;
+    (void)child_->Close();
+  }
+  return st;
+}
+
+Status ExternalSortOp::OpenImpl() {
   rows_.clear();
   runs_.clear();
   runs_spilled_ = 0;
@@ -246,6 +261,21 @@ Status GraceHashJoinOp::LoadPartition(int index) {
 }
 
 Status GraceHashJoinOp::Open() {
+  Status st = OpenImpl();
+  if (!st.ok()) {
+    // As above: a failed Open is not Closed, so drop the partition files
+    // and staged state here, and close both inputs to release their pins.
+    table_.clear();
+    probe_rows_.clear();
+    build_parts_.clear();
+    probe_parts_.clear();
+    (void)outer_->Close();
+    (void)inner_->Close();
+  }
+  return st;
+}
+
+Status GraceHashJoinOp::OpenImpl() {
   spilled_ = false;
   table_.clear();
   build_parts_.clear();

@@ -36,7 +36,13 @@ class ExternalSortOp : public Operator {
   /// memory). Survives Close().
   size_t runs_spilled() const { return runs_spilled_; }
 
+  /// Temp run files currently held open (0 after Close or a failed Open —
+  /// a cancelled mid-spill sort must not leak its runs).
+  size_t open_runs() const { return runs_.size(); }
+
  private:
+  Status OpenImpl();
+
   struct RunCursor {
     std::unique_ptr<HeapFile> file;
     uint32_t page = 0;
@@ -84,7 +90,13 @@ class GraceHashJoinOp : public Operator {
   /// True when Open spilled (the build side exceeded the budget).
   bool spilled() const { return spilled_; }
 
+  /// Partition files currently held open (0 after Close or a failed Open).
+  size_t open_partitions() const {
+    return build_parts_.size() + probe_parts_.size();
+  }
+
  private:
+  Status OpenImpl();
   Status PartitionInput(Operator* input, const Schema& schema, size_t key,
                         std::vector<std::unique_ptr<HeapFile>>* parts);
   Status LoadPartition(int index);

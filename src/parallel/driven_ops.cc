@@ -30,6 +30,13 @@ Status DrivenSeqScanOp::Next(Tuple* out, bool* eof) {
   *eof = false;
   for (;;) {
     if (!page_loaded_) {
+      if (ctx_.cancel != nullptr) {
+        Status live = ctx_.cancel->Check();
+        if (!live.ok()) {
+          pooled_page_.Release();
+          return live;
+        }
+      }
       std::optional<uint32_t> page = shared_->NextPage(slot_);
       if (!page.has_value()) {
         *eof = true;
@@ -37,7 +44,7 @@ Status DrivenSeqScanOp::Next(Tuple* out, bool* eof) {
       }
       if (ctx_.pool != nullptr) {
         XPRS_ASSIGN_OR_RETURN(BlockId block, table_->file().BlockOf(*page));
-        auto handle = ctx_.pool->Fetch(block);
+        auto handle = FetchWithBackpressure(ctx_, block);
         if (!handle.ok()) return handle.status();
         pooled_page_ = std::move(handle).value();
         current_ = &pooled_page_.page();
@@ -89,13 +96,16 @@ Status DrivenIndexScanOp::Open() {
 Status DrivenIndexScanOp::Next(Tuple* out, bool* eof) {
   *eof = false;
   for (;;) {
+    // One random page read per iteration: poll the token per tuple.
+    if (ctx_.cancel != nullptr) XPRS_RETURN_IF_ERROR(ctx_.cancel->Check());
     if (!it_.has_value() || !it_->Valid()) {
       std::optional<KeyRange> chunk = shared_->NextChunk(slot_);
       if (!chunk.has_value()) {
         *eof = true;
         return Status::OK();
       }
-      it_ = table_->index()->Scan(chunk->lo, chunk->hi);
+      XPRS_ASSIGN_OR_RETURN(it_,
+                            table_->index()->ScanChecked(chunk->lo, chunk->hi));
       continue;
     }
     TupleId tid = it_->tid();
@@ -103,7 +113,7 @@ Status DrivenIndexScanOp::Next(Tuple* out, bool* eof) {
     Tuple tuple;
     if (ctx_.pool != nullptr) {
       XPRS_ASSIGN_OR_RETURN(BlockId block, table_->file().BlockOf(tid.page));
-      auto handle = ctx_.pool->Fetch(block);
+      auto handle = FetchWithBackpressure(ctx_, block);
       if (!handle.ok()) return handle.status();
       const uint8_t* data;
       uint16_t size;

@@ -41,34 +41,55 @@ double ParallelMaster::Now() const {
       .count();
 }
 
-void ParallelMaster::StartTask(TaskId id, double parallelism) {
-  TaskState& task = tasks_.at(id);
-  XPRS_CHECK(task.run == nullptr);
+std::map<int, const TempResult*> ParallelMaster::GatherInputs(
+    const TaskState& task) {
   QueryState& query = queries_[task.query_index];
-
-  // Wire the materialized inputs from completed dependency fragments.
   std::map<int, const TempResult*> inputs;
   for (int dep : query.graph.fragment(task.frag_id).deps) {
     TaskState& dep_task = tasks_.at(query.task_ids[dep]);
     XPRS_CHECK_MSG(dep_task.completed, "scheduler started task before dep");
     inputs[dep] = &dep_task.result;
   }
+  return inputs;
+}
+
+void ParallelMaster::LaunchRun(TaskId id, int parallelism, bool notify) {
+  TaskState& task = tasks_.at(id);
+  QueryState& query = queries_[task.query_index];
 
   ParallelFragmentRun::Options run_options;
-  run_options.initial_parallelism = std::max(
-      1, static_cast<int>(std::llround(parallelism)));
-  run_options.max_slots =
-      std::max(options_.max_slots, run_options.initial_parallelism);
+  run_options.initial_parallelism = parallelism;
+  run_options.max_slots = std::max(options_.max_slots, parallelism);
   run_options.ctx = options_.ctx;
 
   task.run = std::make_unique<ParallelFragmentRun>(
-      &query.graph, task.frag_id, std::move(inputs), run_options);
+      &query.graph, task.frag_id, GatherInputs(task), run_options);
+  task.waited = false;
+  if (notify) {
+    task.run->set_on_finish([this, id] {
+      {
+        std::lock_guard<std::mutex> lock(done_mutex_);
+        done_queue_.push_back(id);
+      }
+      done_cv_.notify_all();
+    });
+  }
+  XPRS_CHECK_OK(task.run->Start());
+}
+
+void ParallelMaster::StartTask(TaskId id, double parallelism) {
+  TaskState& task = tasks_.at(id);
+  XPRS_CHECK(task.run == nullptr);
+  QueryState& query = queries_[task.query_index];
+
+  task.parallelism = std::max(1, static_cast<int>(std::llround(parallelism)));
+  task.failures = 0;
   if (options_.obs.tracing()) {
     options_.obs.Emit(
         {StrFormat("frag q%lld/f%d", static_cast<long long>(query.job.query_id),
                    task.frag_id),
          "parallel", 'B', Now(), 0.0, id,
-         {{"parallelism", run_options.initial_parallelism},
+         {{"parallelism", task.parallelism},
           {"seq_time_est", task.profile.seq_time}}});
   }
   if (options_.obs.metrics != nullptr)
@@ -76,21 +97,15 @@ void ParallelMaster::StartTask(TaskId id, double parallelism) {
   RecordTimeline(options_.ctx.profile,
                  query.graph.fragment(task.frag_id).root,
                  AdjustmentEvent::Kind::kStart, Now(), task.frag_id, id,
-                 run_options.initial_parallelism);
-  task.run->set_on_finish([this, id] {
-    {
-      std::lock_guard<std::mutex> lock(done_mutex_);
-      done_queue_.push_back(id);
-    }
-    done_cv_.notify_all();
-  });
-  XPRS_CHECK_OK(task.run->Start());
+                 task.parallelism);
+  LaunchRun(id, task.parallelism, /*notify=*/true);
 }
 
 void ParallelMaster::AdjustParallelism(TaskId id, double parallelism) {
   TaskState& task = tasks_.at(id);
   XPRS_CHECK(task.run != nullptr);
   const int target = std::max(1, static_cast<int>(std::llround(parallelism)));
+  task.parallelism = target;  // retries re-dispatch at the adjusted degree
   task.run->Adjust(target);
   if (options_.obs.tracing()) {
     options_.obs.Emit({"adjust", "parallel", 'i', Now(), 0.0, id,
@@ -150,17 +165,58 @@ StatusOr<MasterRunResult> ParallelMaster::Run(
 
   MasterRunResult result;
   size_t completed = 0;
+  CancellationToken* const cancel = options_.ctx.cancel;
   while (completed < tasks_.size()) {
     TaskId id;
     {
       std::unique_lock<std::mutex> lock(done_mutex_);
-      done_cv_.wait(lock, [this] { return !done_queue_.empty(); });
-      id = done_queue_.front();
-      done_queue_.pop_front();
+      for (;;) {
+        if (!done_queue_.empty()) {
+          id = done_queue_.front();
+          done_queue_.pop_front();
+          break;
+        }
+        // The control loop's cancellation point: a cancelled or expired
+        // query stops here even if every slave is wedged mid-fragment.
+        if (cancel != nullptr) {
+          Status live = cancel->Check();
+          if (!live.ok()) {
+            lock.unlock();
+            EmitResilienceEvent(
+                options_.obs,
+                live.code() == StatusCode::kDeadlineExceeded
+                    ? "cancel.deadline"
+                    : "cancel.query",
+                Now(), -1, {{"status", live.ToString()}});
+            DrainOutstanding();
+            return live;
+          }
+        }
+        done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      }
     }
     TaskState& task = tasks_.at(id);
     auto temp = task.run->Wait();
-    if (!temp.ok()) return temp.status();
+    task.waited = true;
+    if (!temp.ok()) {
+      temp = RecoverTask(id, temp.status(), &result);
+      if (!temp.ok()) {
+        // A slave can observe the token before the control loop does;
+        // publish the cancel event on this exit path too.
+        const StatusCode code = temp.status().code();
+        if (code == StatusCode::kCancelled ||
+            code == StatusCode::kDeadlineExceeded) {
+          EmitResilienceEvent(options_.obs,
+                              code == StatusCode::kDeadlineExceeded
+                                  ? "cancel.deadline"
+                                  : "cancel.query",
+                              Now(), -1,
+                              {{"status", temp.status().ToString()}});
+        }
+        DrainOutstanding();
+        return temp.status();
+      }
+    }
     task.result = std::move(temp).value();
     task.completed = true;
     result.task_finish_times[id] = Now();
@@ -186,6 +242,20 @@ StatusOr<MasterRunResult> ParallelMaster::Run(
   XPRS_CHECK(scheduler.Idle());
 
   result.elapsed_seconds = Now();
+  if (options_.obs.metrics != nullptr) {
+    // Mirror the ladder counters into metrics so recoveries are visible
+    // in snapshots even when the caller drops MasterRunResult.
+    MetricsRegistry* m = options_.obs.metrics;
+    if (result.fragment_retries > 0)
+      m->counter("resilience.retry.fragment.total")
+          ->Increment(result.fragment_retries);
+    if (result.parallelism_degrades > 0)
+      m->counter("resilience.degrade.parallelism.total")
+          ->Increment(result.parallelism_degrades);
+    if (result.serial_fallbacks > 0)
+      m->counter("resilience.degrade.serial.total")
+          ->Increment(result.serial_fallbacks);
+  }
   result.num_adjustments = scheduler.num_adjustments();
   result.decisions = scheduler.decisions();
   for (auto& qs : queries_) {
@@ -194,6 +264,72 @@ StatusOr<MasterRunResult> ParallelMaster::Run(
         std::move(tasks_.at(root).result.tuples);
   }
   return result;
+}
+
+StatusOr<TempResult> ParallelMaster::RecoverTask(TaskId id, Status failure,
+                                                 MasterRunResult* result) {
+  TaskState& task = tasks_.at(id);
+  QueryState& query = queries_[task.query_index];
+  const PlanNode* frag_root = query.graph.fragment(task.frag_id).root;
+  while (IsRetryableStatus(failure)) {
+    ++task.failures;
+    if (task.failures < options_.retry.max_attempts) {
+      // Same fragment, same granule protocol, fresh run.
+      ++result->fragment_retries;
+      EmitResilienceEvent(options_.obs, "retry.fragment", Now(), id,
+                          {{"failures", task.failures},
+                           {"parallelism", task.parallelism},
+                           {"status", failure.ToString()}});
+    } else if (task.parallelism > 1) {
+      // Rung exhausted: degrade via the §2.4 adjustment path — the next
+      // attempt runs at half the parallelism with a fresh retry budget.
+      task.parallelism = std::max(1, task.parallelism / 2);
+      task.failures = 0;
+      ++result->parallelism_degrades;
+      EmitResilienceEvent(options_.obs, "degrade.parallelism", Now(), id,
+                          {{"parallelism", task.parallelism},
+                           {"status", failure.ToString()}});
+      RecordTimeline(options_.ctx.profile, frag_root,
+                     AdjustmentEvent::Kind::kAdjust, Now(), task.frag_id, id,
+                     task.parallelism);
+    } else if (options_.serial_fallback) {
+      // Ladder floor: one pass with the trusted serial executor on the
+      // master thread.
+      ++result->serial_fallbacks;
+      EmitResilienceEvent(options_.obs, "degrade.serial", Now(), id,
+                          {{"status", failure.ToString()}});
+      RecordTimeline(options_.ctx.profile, frag_root,
+                     AdjustmentEvent::Kind::kAdjust, Now(), task.frag_id, id,
+                     1.0);
+      return ExecuteFragment(query.graph, task.frag_id, GatherInputs(task),
+                             options_.ctx);
+    } else {
+      return failure;
+    }
+    XPRS_RETURN_IF_ERROR(BackoffSleep(options_.retry,
+                                      std::max(1, task.failures),
+                                      options_.ctx.cancel));
+    // The recovery attempt is awaited synchronously (no done-queue
+    // notification), so the main loop never sees it twice.
+    LaunchRun(id, task.parallelism, /*notify=*/false);
+    auto attempt = task.run->Wait();
+    task.waited = true;
+    if (attempt.ok()) return attempt;
+    failure = attempt.status();
+  }
+  return failure;
+}
+
+void ParallelMaster::DrainOutstanding() {
+  for (auto& entry : tasks_) {
+    TaskState& task = entry.second;
+    if (task.run != nullptr && !task.waited) {
+      // Join the slaves and drop the result: the query is aborting, and
+      // returning before the threads exit would leak pins past Run().
+      (void)task.run->Wait();
+      task.waited = true;
+    }
+  }
 }
 
 }  // namespace xprs

@@ -1,0 +1,43 @@
+#include "resilience/cancellation.h"
+
+namespace xprs {
+
+int64_t CancellationToken::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CancellationToken::Cancel(std::string reason) {
+  Latch(StatusCode::kCancelled, std::move(reason));
+}
+
+void CancellationToken::SetDeadlineAfterMs(int64_t ms) {
+  if (ms < 0) ms = 0;
+  deadline_ns_.store(NowNs() + ms * 1000000, std::memory_order_relaxed);
+}
+
+void CancellationToken::Latch(StatusCode code, std::string reason) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  code_ = code;
+  reason_ = std::move(reason);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+Status CancellationToken::TerminalStatus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Status(code_, reason_);
+}
+
+Status CancellationToken::Check() const {
+  if (cancelled_.load(std::memory_order_acquire)) return TerminalStatus();
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != kNoDeadline && NowNs() >= deadline) {
+    Latch(StatusCode::kDeadlineExceeded, "query deadline exceeded");
+    return TerminalStatus();
+  }
+  return Status::OK();
+}
+
+}  // namespace xprs

@@ -1,0 +1,81 @@
+// Cooperative cancellation and per-query deadlines.
+//
+// A CancellationToken is owned by whoever issues the query (a test, a
+// shell session, the bench driver) and shared by plain pointer with every
+// component executing on the query's behalf: the serial executor's
+// operator tree, the parallel master's control loop, and each slave
+// pipeline inside a ParallelFragmentRun. Execution is cooperative — no
+// thread is ever killed. Operators poll Check() at batch boundaries
+// (page loads, Next() calls through the cancel guard) and unwind with
+// Status::Cancelled / Status::DeadlineExceeded, releasing buffer-pool pins
+// through the usual RAII handles on the way out, so a cancelled query
+// always leaves zero pinned frames.
+//
+// The token latches: the first observation of an expired deadline converts
+// the token to the cancelled state with kDeadlineExceeded, and every later
+// Check() returns the same status. Cancel() and Check() are safe to call
+// concurrently from any thread. The live-path cost of Check() is one
+// relaxed atomic load plus, when a deadline is armed, one steady-clock
+// read — callers on per-tuple paths stride the deadline check (see
+// CancelGuardOp in exec/operators.cc).
+
+#ifndef XPRS_RESILIENCE_CANCELLATION_H_
+#define XPRS_RESILIENCE_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace xprs {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Moves the token to the cancelled state (idempotent; the first caller
+  /// wins the reason). Wakes nobody — execution notices at the next poll.
+  void Cancel(std::string reason = "query cancelled");
+
+  /// Arms a deadline `ms` milliseconds from now on the steady clock.
+  /// ms <= 0 arms an already-expired deadline: the query fails with
+  /// DeadlineExceeded at its first cancellation point instead of running.
+  void SetDeadlineAfterMs(int64_t ms);
+
+  /// True once cancelled (explicitly or via a latched deadline). One
+  /// relaxed load; does NOT observe a not-yet-latched expired deadline.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// OK while the query may keep running; Cancelled or DeadlineExceeded
+  /// afterwards. Latches an expired deadline on first observation.
+  Status Check() const;
+
+  /// Steady-clock nanoseconds used for deadlines (exposed for tests).
+  static int64_t NowNs();
+
+ private:
+  static constexpr int64_t kNoDeadline = -1;
+
+  // Sets the terminal state exactly once; later callers are no-ops.
+  void Latch(StatusCode code, std::string reason) const;
+  Status TerminalStatus() const;
+
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+  // Guards code_/reason_ while latching; read-side only runs after the
+  // acquire load of cancelled_ observes true.
+  mutable std::mutex mutex_;
+  mutable StatusCode code_ = StatusCode::kCancelled;
+  mutable std::string reason_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_RESILIENCE_CANCELLATION_H_

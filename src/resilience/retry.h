@@ -1,0 +1,69 @@
+// Retry policy, retryability classification, and the resilience event
+// vocabulary shared by the executor, the parallel master, and the buffer
+// pool backpressure path.
+//
+// The degradation ladder (DESIGN.md "Resilience") is:
+//
+//   retry           same work, same granules, after a bounded exponential
+//                   backoff — absorbs transient storage faults
+//   degrade         halve the fragment's parallelism via the §2.4
+//                   adjustment path, or (serial executor) fall back to the
+//                   spill path under buffer-pool pressure
+//   serial fallback re-run the fragment on the master thread with the
+//                   trusted sequential executor
+//   fail            surface the last Status to the caller
+//
+// Cancellation and deadlines are never retried: a cancelled query must
+// stop, not loop. Every rung emits a `resilience.*` counter plus an
+// instant trace event through EmitResilienceEvent so recoveries are
+// visible in metrics snapshots and Chrome traces.
+
+#ifndef XPRS_RESILIENCE_RETRY_H_
+#define XPRS_RESILIENCE_RETRY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+#include "resilience/cancellation.h"
+#include "util/status.h"
+
+namespace xprs {
+
+/// Bounded exponential backoff. `max_attempts` counts the first try:
+/// max_attempts = 3 means one initial attempt plus two retries per rung of
+/// the degradation ladder.
+struct RetryPolicy {
+  int max_attempts = 3;
+  int initial_backoff_ms = 1;
+  double backoff_multiplier = 2.0;
+  int max_backoff_ms = 50;
+
+  /// Backoff before retry number `failures` (>= 1), in milliseconds.
+  int BackoffMs(int failures) const;
+};
+
+/// True for fault classes worth retrying: transient storage errors
+/// (kIoError) and resource pressure (kResourceExhausted). Cancellation,
+/// deadline expiry and logic errors are terminal.
+bool IsRetryableStatus(const Status& status);
+
+/// Sleeps the policy's backoff for retry number `failures`, polling
+/// `token` (nullable) so a cancelled query stops waiting. Returns the
+/// token's terminal status if it fired, OK otherwise.
+Status BackoffSleep(const RetryPolicy& policy, int failures,
+                    const CancellationToken* token);
+
+/// Increments counter `resilience.<kind>` and emits an instant trace event
+/// of the same name (category "resilience", `track` as the tid). The
+/// timestamp is `time_seconds` on whatever clock the caller's trace uses;
+/// pass a negative value to stamp with the process steady clock.
+void EmitResilienceEvent(
+    const Observability& obs, const std::string& kind, double time_seconds,
+    int64_t track,
+    std::vector<std::pair<std::string, TraceValue>> args = {});
+
+}  // namespace xprs
+
+#endif  // XPRS_RESILIENCE_RETRY_H_

@@ -148,6 +148,11 @@ StatusOr<SqlResult> SqlEngine::Run(const std::string& sql,
                                    const ExecContext* ctx, TreeShape shape,
                                    const MasterOptions* master,
                                    bool force_analyze) {
+  // Fail fast on an already-cancelled or expired query: planning time
+  // counts against the deadline too. The token also rides ctx into the
+  // executors, which poll it at every batch boundary.
+  if (ctx != nullptr && ctx->cancel != nullptr)
+    XPRS_RETURN_IF_ERROR(ctx->cancel->Check());
   XPRS_ASSIGN_OR_RETURN(Bound bound, Bind(sql));
   const ParsedQuery& parsed = bound.parsed;
 

@@ -45,6 +45,9 @@ class SqlEngine {
             const CostModel* model);
 
   /// Parses, optimizes (bushy two-phase by default) and executes `sql`.
+  /// A ctx.cancel token (or deadline) is honored from planning onwards:
+  /// the statement returns Cancelled / DeadlineExceeded with zero pinned
+  /// frames instead of running to completion.
   StatusOr<SqlResult> Execute(const std::string& sql,
                               const ExecContext& ctx = ExecContext(),
                               TreeShape shape = TreeShape::kBushy);

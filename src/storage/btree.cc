@@ -165,6 +165,26 @@ BTreeIndex::Iterator BTreeIndex::Scan(int32_t lo, int32_t hi) const {
   return it;
 }
 
+Status BTreeIndex::CheckReadFault(int32_t probe_key) const {
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (injector == nullptr) return Status::OK();
+  // One logical root-to-leaf read per probe; key the "block" on the probe
+  // key so scripted rate faults see distinct reads.
+  return injector->BeforeRead(static_cast<BlockId>(
+      static_cast<uint32_t>(probe_key)));
+}
+
+StatusOr<BTreeIndex::Iterator> BTreeIndex::ScanChecked(int32_t lo,
+                                                       int32_t hi) const {
+  XPRS_RETURN_IF_ERROR(CheckReadFault(lo));
+  return Scan(lo, hi);
+}
+
+StatusOr<std::vector<TupleId>> BTreeIndex::LookupChecked(int32_t key) const {
+  XPRS_RETURN_IF_ERROR(CheckReadFault(key));
+  return Lookup(key);
+}
+
 size_t BTreeIndex::CountRange(int32_t lo, int32_t hi) const {
   size_t count = 0;
   for (Iterator it = Scan(lo, hi); it.Valid(); it.Next()) ++count;

@@ -14,12 +14,14 @@
 #ifndef XPRS_STORAGE_BTREE_H_
 #define XPRS_STORAGE_BTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 #include "util/status.h"
 
@@ -76,6 +78,22 @@ class BTreeIndex {
   /// Iterator positioned at the first entry with key >= lo, bounded by hi.
   Iterator Scan(int32_t lo, int32_t hi) const;
 
+  /// Installs (nullptr clears) a fault hook consulted once per checked
+  /// traversal (ScanChecked / LookupChecked). The tree itself is
+  /// in-memory, but a disk-resident index would pay a root-to-leaf read
+  /// per probe — the hook models that read so index-scan plans are
+  /// fault-testable end to end. Thread-safe.
+  void SetFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+  /// Scan() behind the fault hook: consults the injector (one logical
+  /// index read, keyed by the probe key) before positioning the iterator.
+  StatusOr<Iterator> ScanChecked(int32_t lo, int32_t hi) const;
+
+  /// Lookup() behind the fault hook.
+  StatusOr<std::vector<TupleId>> LookupChecked(int32_t key) const;
+
   /// Splits the key domain into up to `n` ranges containing approximately
   /// equal numbers of entries (the balanced range partition of §2.4).
   /// Returns fewer ranges when there are not enough distinct keys. Empty
@@ -100,6 +118,7 @@ class BTreeIndex {
 
  private:
   struct Node;
+  Status CheckReadFault(int32_t probe_key) const;
   static void DeleteSubtree(Node* node);
   Node* FindLeaf(int32_t key) const;
   void InsertIntoParent(Node* left, int32_t sep, Node* right);
@@ -111,6 +130,7 @@ class BTreeIndex {
   const int fanout_;
   Node* root_;
   size_t size_ = 0;
+  std::atomic<FaultInjector*> injector_{nullptr};
 };
 
 }  // namespace xprs

@@ -67,6 +67,16 @@ StatusOr<size_t> BufferPool::FindOrClaimLocked(
       return it->second;
     }
 
+    // Miss under admission control: refuse to grow the pinned set past the
+    // soft limit. The caller sees a retryable ResourceExhausted and backs
+    // off (FetchWithBackpressure) or degrades to the spill path.
+    if (soft_pin_limit_ > 0 && PinnedLocked() >= soft_pin_limit_) {
+      if (backpressure_counter_ != nullptr)
+        backpressure_counter_->Increment();
+      return Status::ResourceExhausted(
+          "buffer pool pin limit reached (backpressure)");
+    }
+
     // Miss: claim a victim frame with the clock sweep (two passes: the
     // first clears reference bits, the second takes the first unpinned
     // frame).
@@ -144,9 +154,11 @@ void BufferPool::AttachMetrics(MetricsRegistry* metrics) {
   if (metrics != nullptr) {
     hits_counter_ = metrics->counter("bufferpool.hits");
     misses_counter_ = metrics->counter("bufferpool.misses");
+    backpressure_counter_ = metrics->counter("bufferpool.backpressure");
   } else {
     hits_counter_ = nullptr;
     misses_counter_ = nullptr;
+    backpressure_counter_ = nullptr;
   }
 }
 
@@ -167,12 +179,21 @@ void BufferPool::SetFaultInjector(FaultInjector* injector) {
   injector_.store(injector, std::memory_order_release);
 }
 
-size_t BufferPool::PinnedFrames() const {
+void BufferPool::SetSoftPinLimit(size_t max_pinned_frames) {
   std::lock_guard<std::mutex> lock(mutex_);
+  soft_pin_limit_ = max_pinned_frames;
+}
+
+size_t BufferPool::PinnedLocked() const {
   size_t pinned = 0;
   for (const Frame& f : frames_)
     if (f.pins > 0) ++pinned;
   return pinned;
+}
+
+size_t BufferPool::PinnedFrames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return PinnedLocked();
 }
 
 uint64_t BufferPool::TotalPins() const {

@@ -84,6 +84,15 @@ class BufferPool {
   /// (nullptr detaches). Thread-safe with concurrent fetches.
   void SetFaultInjector(FaultInjector* injector);
 
+  /// Admission control under memory-pages pressure: when `max_pinned_frames`
+  /// is > 0, a miss that finds at least that many frames already pinned is
+  /// refused with a retryable ResourceExhausted instead of claiming a
+  /// frame. Hits on resident pages are never refused — the requester
+  /// already holds the memory, and refusing re-pins would livelock scans
+  /// that bounce on the page they just released. 0 (default) disables the
+  /// limit. Thread-safe.
+  void SetSoftPinLimit(size_t max_pinned_frames);
+
   /// Number of frames currently pinned (pins > 0). The differential
   /// harness asserts this returns to zero after every run — a leaked pin
   /// means some error path skipped an unpin.
@@ -107,6 +116,7 @@ class BufferPool {
   };
 
   void Unpin(size_t frame);
+  size_t PinnedLocked() const;
 
   // Finds the frame holding `block` or claims a victim for it. Returns the
   // frame index and whether a disk load is needed; called under mutex_.
@@ -119,11 +129,13 @@ class BufferPool {
   std::vector<Frame> frames_;
   std::unordered_map<BlockId, size_t> table_;  // block -> frame
   size_t clock_hand_ = 0;
+  size_t soft_pin_limit_ = 0;  // 0 = no admission control
   BufferPoolStats stats_;
 
   MetricsRegistry* metrics_ = nullptr;
   Counter* hits_counter_ = nullptr;    // bufferpool.hits
   Counter* misses_counter_ = nullptr;  // bufferpool.misses
+  Counter* backpressure_counter_ = nullptr;  // bufferpool.backpressure
 
   std::atomic<FaultInjector*> injector_{nullptr};
 };

@@ -56,6 +56,9 @@ class Table {
   /// The indexed column, or -1 when no index exists.
   int index_column() const { return index_column_; }
   const BTreeIndex* index() const { return index_.get(); }
+  /// Mutable access for fault-hook installation (the read API stays
+  /// const-only through index()).
+  BTreeIndex* mutable_index() { return index_.get(); }
 
   /// Builds an unclustered B+tree index over int4 column `column` by
   /// scanning the heap file. NULL keys are skipped.

@@ -52,6 +52,8 @@ Status HeapFile::ReadPage(uint32_t index, Page* out) const {
         StrFormat("page %u of %zu in %s", index, block_map_.size(),
                   name_.c_str()));
   }
+  if (FaultInjector* injector = injector_.load(std::memory_order_acquire))
+    XPRS_RETURN_IF_ERROR(injector->BeforeRead(block_map_[index]));
   return array_->ReadBlock(block_map_[index], out);
 }
 

@@ -4,12 +4,14 @@
 #ifndef XPRS_STORAGE_HEAP_FILE_H_
 #define XPRS_STORAGE_HEAP_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/disk_array.h"
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 #include "storage/tuple.h"
 #include "util/status.h"
@@ -21,6 +23,19 @@ namespace xprs {
 class HeapFile {
  public:
   HeapFile(std::string name, Schema schema, DiskArray* array);
+
+  /// Movable (setup phase only — not concurrently with readers). The
+  /// atomic injector slot blocks the implicit move; the installed hook
+  /// travels with the file.
+  HeapFile(HeapFile&& other) noexcept
+      : name_(other.name_),
+        schema_(other.schema_),
+        array_(other.array_),
+        injector_(other.injector_.load(std::memory_order_relaxed)),
+        block_map_(std::move(other.block_map_)),
+        tail_(other.tail_),
+        tail_dirty_(other.tail_dirty_),
+        num_tuples_(other.num_tuples_) {}
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -52,11 +67,21 @@ class HeapFile {
   /// Average tuples per page (0 when empty).
   double TuplesPerPage() const;
 
+  /// Installs (nullptr clears) a fault hook consulted by ReadPage — and
+  /// therefore ReadTuple — before the backing block read. The disk array's
+  /// own injector covers every relation on the array; this one targets a
+  /// single heap file so index-scan fetch paths are fault-testable in
+  /// isolation. Thread-safe; the injector must outlive its installation.
+  void SetFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   const std::string name_;
   const Schema schema_;
   DiskArray* const array_;
 
+  std::atomic<FaultInjector*> injector_{nullptr};
   std::vector<BlockId> block_map_;  // file page index -> global block
   Page tail_;                       // page being filled by Append
   bool tail_dirty_ = false;

@@ -17,13 +17,31 @@ namespace xprs {
 std::string DifferentialReport::ToString() const {
   return StrFormat(
       "plans=%llu executions=%llu reference_rows=%llu fault_cases=%llu "
-      "faults_injected=%llu",
+      "faults_injected=%llu chaos_recovered=%llu chaos_retryable=%llu",
       static_cast<unsigned long long>(plans_checked),
       static_cast<unsigned long long>(executions_compared),
       static_cast<unsigned long long>(reference_rows),
       static_cast<unsigned long long>(fault_cases),
-      static_cast<unsigned long long>(faults_injected));
+      static_cast<unsigned long long>(faults_injected),
+      static_cast<unsigned long long>(chaos_recovered),
+      static_cast<unsigned long long>(chaos_retryable_failures));
 }
+
+namespace {
+
+// First scan node of `kind` in the plan tree, or nullptr.
+const PlanNode* FindScan(const PlanNode& plan, PlanKind kind) {
+  if (plan.kind == kind) return &plan;
+  if (plan.left != nullptr) {
+    if (const PlanNode* hit = FindScan(*plan.left, kind)) return hit;
+  }
+  if (plan.right != nullptr) {
+    if (const PlanNode* hit = FindScan(*plan.right, kind)) return hit;
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 DifferentialOracle::DifferentialOracle(DiskArray* array,
                                        const DifferentialOptions& options,
@@ -106,12 +124,16 @@ StatusOr<std::vector<Tuple>> DifferentialOracle::RunParallelFragments(
 }
 
 StatusOr<std::vector<Tuple>> DifferentialOracle::RunMaster(
-    const PlanNode& plan) {
+    const PlanNode& plan, bool chaos) {
   MachineConfig machine;
   machine.num_cpus = 4;
   MasterOptions master_options;
   master_options.sched.policy = SchedPolicy::kInterWithAdj;
   master_options.max_slots = options_.max_slots;
+  if (chaos) {
+    master_options.retry = options_.chaos_retry;
+    master_options.obs = options_.chaos_obs;
+  }
   ParallelMaster master(machine, &model_, master_options);
   auto result = master.Run({QueryJob{&plan, /*query_id=*/1}});
   if (!result.ok()) return result.status();
@@ -276,6 +298,35 @@ Status DifferentialOracle::CheckFaultSurfacing(const PlanNode& plan) {
     pool.SetFaultInjector(nullptr);
     XPRS_RETURN_IF_ERROR(status);
   }
+  if (const PlanNode* scan = FindScan(plan, PlanKind::kSeqScan);
+      scan != nullptr && scan->table != nullptr) {
+    // Heap-file read hook: targets a single relation's pages instead of
+    // the whole array; the first ReadPage of that file fails.
+    ScriptedFaultInjector injector;
+    ScriptedFaultInjector::Script script;
+    script.fail_nth_read = 1;
+    injector.Arm(script);
+    scan->table->file().SetFaultInjector(&injector);
+    Status status =
+        FaultCase(plan, reference, plain, &injector, "heapfile-read-fault");
+    scan->table->file().SetFaultInjector(nullptr);
+    XPRS_RETURN_IF_ERROR(status);
+  }
+  if (const PlanNode* scan = FindScan(plan, PlanKind::kIndexScan);
+      scan != nullptr && scan->table != nullptr &&
+      scan->table->mutable_index() != nullptr) {
+    // B+tree read hook: the first checked descent/scan over the index
+    // fails before any tuple fetch.
+    ScriptedFaultInjector injector;
+    ScriptedFaultInjector::Script script;
+    script.fail_nth_read = 1;
+    injector.Arm(script);
+    scan->table->mutable_index()->SetFaultInjector(&injector);
+    Status status =
+        FaultCase(plan, reference, plain, &injector, "btree-read-fault");
+    scan->table->mutable_index()->SetFaultInjector(nullptr);
+    XPRS_RETURN_IF_ERROR(status);
+  }
   {
     // Temp-array write hook: the first spill write is torn short. Plans
     // that never spill exercise the vacuous branch of FaultCase.
@@ -292,6 +343,96 @@ Status DifferentialOracle::CheckFaultSurfacing(const PlanNode& plan) {
         FaultCase(plan, reference, ctx, &injector, "short-write-fault");
     temp_array_.SetFaultInjector(nullptr);
     XPRS_RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
+}
+
+Status DifferentialOracle::ChaosCase(
+    const PlanNode& plan, const Canon& reference, const std::string& label,
+    const std::function<StatusOr<std::vector<Tuple>>()>& run) {
+  ScriptedFaultInjector injector;
+  ScriptedFaultInjector::Script script;
+  script.read_fault_rate = options_.chaos_read_fault_rate;
+  injector.Arm(script, rng_.Next());
+  array_->SetFaultInjector(&injector);
+  ++report_.fault_cases;
+  auto got = run();
+  array_->SetFaultInjector(nullptr);
+  const uint64_t fired = injector.faults_injected();
+  report_.faults_injected += fired;
+
+  if (!got.ok()) {
+    // A chaos failure is legal exactly when it is retryable: the caller
+    // could re-submit and (the faults being independent) expect to make
+    // progress. Cancelled / Internal / crash-shaped outcomes are bugs.
+    if (!IsRetryableStatus(got.status())) {
+      return Status::Internal(StrFormat(
+          "chaos mode '%s' failed with a non-retryable status: %s\nplan:\n%s",
+          label.c_str(), got.status().ToString().c_str(),
+          plan.ToString().c_str()));
+    }
+    ++report_.chaos_retryable_failures;
+    return Status::OK();
+  }
+  if (fired > 0) ++report_.chaos_recovered;
+  return Compare(plan, StrFormat("chaos-%s", label.c_str()), reference,
+                 got.value());
+}
+
+Status DifferentialOracle::CheckPlanChaos(const PlanNode& plan) {
+  if (options_.chaos_read_fault_rate <= 0.0) return Status::OK();
+
+  // Clean reference first (no injector armed).
+  ExecContext plain;
+  XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> ref,
+                        ExecutePlanSequential(plan, plain));
+  Canon reference = Canonicalize(ref);
+  ++report_.plans_checked;
+  ++report_.executions_compared;
+  report_.reference_rows += ref.size();
+
+  // Modes behind the resilience ladder: expected to absorb most faults
+  // (retry / degrade), recorded on chaos_obs.
+  XPRS_RETURN_IF_ERROR(ChaosCase(plan, reference, "resilient-serial", [&] {
+    ResilientExecOptions res;
+    res.retry = options_.chaos_retry;
+    res.degrade_spill_array = &temp_array_;
+    res.degrade_spill_tuples = options_.spill_memory_tuples;
+    res.obs = options_.chaos_obs;
+    return ExecutePlanResilient(plan, plain, res);
+  }));
+  if (options_.run_master) {
+    XPRS_RETURN_IF_ERROR(ChaosCase(plan, reference, "master", [&] {
+      return RunMaster(plan, /*chaos=*/true);
+    }));
+  }
+
+  // Bare modes: no ladder, so injected faults usually surface — which is
+  // fine as long as the status is retryable and the result never diverges.
+  if (options_.run_fragmented) {
+    XPRS_RETURN_IF_ERROR(ChaosCase(plan, reference, "fragmented", [&] {
+      ExecContext ctx;
+      return ExecutePlanFragmented(plan, ctx);
+    }));
+  }
+  for (int degree : options_.degrees) {
+    XPRS_RETURN_IF_ERROR(
+        ChaosCase(plan, reference, StrFormat("parallel(%d)", degree),
+                  [&] { return RunParallelFragments(plan, degree); }));
+  }
+  if (options_.run_buffer_pool) {
+    BufferPool pool(array_, options_.buffer_pool_frames);
+    ExecContext ctx;
+    ctx.pool = &pool;
+    XPRS_RETURN_IF_ERROR(
+        ChaosCase(plan, reference, "pooled",
+                  [&] { return ExecutePlanSequential(plan, ctx); }));
+    if (pool.PinnedFrames() != 0) {
+      return Status::Internal(
+          StrFormat("chaos pooled run left %d pinned frames\nplan:\n%s",
+                    static_cast<int>(pool.PinnedFrames()),
+                    plan.ToString().c_str()));
+    }
   }
   return Status::OK();
 }

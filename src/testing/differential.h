@@ -34,6 +34,7 @@
 #ifndef XPRS_TESTING_DIFFERENTIAL_H_
 #define XPRS_TESTING_DIFFERENTIAL_H_
 
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -67,6 +68,25 @@ struct DifferentialOptions {
   size_t spill_memory_tuples = 64;
   size_t buffer_pool_frames = 16;
   int max_slots = 8;
+
+  /// Chaos mode (CheckPlanChaos): while each execution mode runs, every
+  /// disk read independently fails with this probability (seeded from the
+  /// oracle's rng). Bare modes may fail — any failure must carry a
+  /// *retryable* status (IoError / ResourceExhausted), never a crash or a
+  /// wrong answer — while the modes behind the resilience ladder
+  /// (resilient serial, master) usually absorb the faults and must then
+  /// match the reference exactly. 0 disables CheckPlanChaos.
+  double chaos_read_fault_rate = 0.0;
+  /// Retry budget per rung for the chaos resilient-serial / master runs.
+  /// Backoff defaults to zero so fixed-seed chaos suites stay fast.
+  RetryPolicy chaos_retry = [] {
+    RetryPolicy p;
+    p.max_attempts = 4;
+    p.initial_backoff_ms = 0;
+    return p;
+  }();
+  /// resilience.* metric + trace sink for chaos recoveries. Optional.
+  Observability chaos_obs;
 };
 
 /// Counters accumulated across CheckPlan / fault / conservation calls.
@@ -76,6 +96,10 @@ struct DifferentialReport {
   uint64_t reference_rows = 0;
   uint64_t faults_injected = 0;
   uint64_t fault_cases = 0;
+  /// Chaos-mode outcomes: runs that absorbed at least one injected fault
+  /// and still matched the reference, vs. runs that failed retryably.
+  uint64_t chaos_recovered = 0;
+  uint64_t chaos_retryable_failures = 0;
   std::string ToString() const;
 };
 
@@ -98,6 +122,15 @@ class DifferentialOracle {
   /// zero pinned frames, and the transient retry must match the reference.
   Status CheckFaultSurfacing(const PlanNode& plan);
 
+  /// Chaos mode: re-runs `plan` through the configured modes with a
+  /// seeded rate-`options.chaos_read_fault_rate` read-fault injector armed
+  /// the whole time. Every mode must either reproduce the reference result
+  /// exactly or fail with a retryable status; the resilience-ladder modes
+  /// record their recoveries on `options.chaos_obs` (resilience.retry.* /
+  /// resilience.degrade.* counters and trace events). No-op when the rate
+  /// is <= 0.
+  Status CheckPlanChaos(const PlanNode& plan);
+
   /// Random-rate read faults: while armed, every disk read independently
   /// fails with probability `rate` (seeded from the oracle's rng). The run
   /// must either fail with a Status — with every injected fault accounted
@@ -119,12 +152,21 @@ class DifferentialOracle {
 
   StatusOr<std::vector<Tuple>> RunParallelFragments(const PlanNode& plan,
                                                     int degree);
-  StatusOr<std::vector<Tuple>> RunMaster(const PlanNode& plan);
+  // `chaos` arms the resilience ladder (options_.chaos_retry + chaos_obs)
+  // on the master so injected faults are retried / degraded instead of
+  // failing the run outright.
+  StatusOr<std::vector<Tuple>> RunMaster(const PlanNode& plan,
+                                         bool chaos = false);
   // One armed-hook case: runs `plan` under `ctx`, asserting a fired fault
   // surfaces as Status and a clean retry matches `reference`.
   Status FaultCase(const PlanNode& plan, const Canon& reference,
                    const ExecContext& ctx, ScriptedFaultInjector* injector,
                    const std::string& label);
+  // One chaos case: runs `run` with a rate injector armed on the array;
+  // the outcome must be the reference result or a retryable failure.
+  Status ChaosCase(const PlanNode& plan, const Canon& reference,
+                   const std::string& label,
+                   const std::function<StatusOr<std::vector<Tuple>>()>& run);
 
   DiskArray* const array_;
   const DifferentialOptions options_;

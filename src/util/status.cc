@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -27,6 +27,8 @@ enum class StatusCode {
   kUnimplemented,
   kAborted,
   kIoError,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a StatusCode ("Ok", "NotFound", ...).
@@ -76,6 +78,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

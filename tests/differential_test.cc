@@ -15,6 +15,8 @@
 
 #include "util/check.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/disk_array.h"
 #include "testing/differential.h"
 #include "testing/query_gen.h"
@@ -57,6 +59,51 @@ TEST(DifferentialTest, TwoHundredGeneratedQueries) {
   // reference + fragmented + 3 degrees + master + spill + pooled = 8.
   EXPECT_GE(report.executions_compared, 200u * 8);
   std::cout << "differential report: " << report.ToString() << "\n";
+}
+
+// Chaos acceptance bar: 200 fixed-seed queries re-run through every mode
+// with a 2% random read-fault injector armed the whole time. Every run
+// must match the serial reference or fail with a retryable status, and
+// the resilience ladder's recoveries must be visible downstream as
+// resilience.retry.* / resilience.degrade.* metrics and trace events.
+TEST(DifferentialTest, TwoHundredChaosQueries) {
+  const uint64_t seed = TestSeed(0xD1FF0008);
+  Fixture fx(seed);
+  MetricsRegistry metrics;
+  MemoryTraceRecorder trace;
+  DifferentialOptions options;
+  options.chaos_read_fault_rate = 0.02;
+  options.chaos_obs.metrics = &metrics;
+  options.chaos_obs.trace = &trace;
+  DifferentialOracle oracle(&fx.array, options, seed ^ 1);
+  QueryGenerator gen(fx.tables, QueryGenerator::Options(), seed ^ 2);
+  for (int i = 0; i < 200; ++i) {
+    std::unique_ptr<PlanNode> plan = gen.NextPlan();
+    Status status = oracle.CheckPlanChaos(*plan);
+    ASSERT_TRUE(status.ok()) << "query " << i << " (seed " << seed
+                             << "): " << status.ToString();
+  }
+  const DifferentialReport& report = oracle.report();
+  EXPECT_EQ(report.plans_checked, 200u);
+  EXPECT_GT(report.faults_injected, 0u);
+  // The ladder modes must actually have absorbed faults and still matched
+  // the reference — not merely failed retryably every time.
+  EXPECT_GT(report.chaos_recovered, 0u);
+
+  const uint64_t retries = metrics.counter("resilience.retry.query")->value() +
+                           metrics.counter("resilience.retry.fragment")->value();
+  const uint64_t degrades =
+      metrics.counter("resilience.degrade.parallelism")->value() +
+      metrics.counter("resilience.degrade.serial")->value() +
+      metrics.counter("resilience.degrade.spill")->value();
+  EXPECT_GT(retries, 0u);
+  size_t resilience_events = 0;
+  for (const TraceEvent& event : trace.snapshot()) {
+    if (event.category == "resilience") ++resilience_events;
+  }
+  EXPECT_GE(resilience_events, retries + degrades);
+  std::cout << "chaos report: " << report.ToString() << " retries=" << retries
+            << " degrades=" << degrades << "\n";
 }
 
 // NULL join keys and NULL aggregate inputs must behave identically in

@@ -137,12 +137,31 @@ TEST_F(FaultTest, MasterRunReturnsError) {
   CostModel model;
   MasterOptions options;
   options.ctx = ctx_;
-  ParallelMaster master(MachineConfig::PaperConfig(), &model, options);
 
-  array_->FailNextReads(1);
-  auto result = master.Run({{plan.get(), 1}});
-  EXPECT_FALSE(result.ok());
-  array_->FailNextReads(0);
+  // A transient fault is absorbed by the fragment retry ladder: the run
+  // succeeds and reports the recovery.
+  {
+    ParallelMaster master(MachineConfig::PaperConfig(), &model, options);
+    array_->FailNextReads(1);
+    auto result = master.Run({{plan.get(), 1}});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GE(result->fragment_retries, 1u);
+    array_->FailNextReads(0);
+  }
+
+  // A persistent fault exhausts the ladder (retries disabled down to one
+  // attempt per rung, no serial fallback) and surfaces as a Status.
+  {
+    MasterOptions strict = options;
+    strict.retry.max_attempts = 1;
+    strict.retry.initial_backoff_ms = 0;
+    strict.serial_fallback = false;
+    ParallelMaster master(MachineConfig::PaperConfig(), &model, strict);
+    array_->FailNextReads(1000000);
+    auto result = master.Run({{plan.get(), 1}});
+    EXPECT_FALSE(result.ok());
+    array_->FailNextReads(0);
+  }
 
   // And a clean re-run on the same tables succeeds.
   ParallelMaster master2(MachineConfig::PaperConfig(), &model, options);

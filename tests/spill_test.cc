@@ -202,5 +202,75 @@ TEST_F(SpillTest, GraceJoinWithDuplicatesAndNulls) {
   EXPECT_EQ(rows->size(), reference.size());  // NULL keys join nothing
 }
 
+// Forwards its child and cancels the token after `after` tuples, so a
+// blocking consumer (sort / hash-join drain) observes the cancellation
+// mid-spill, from inside its own Open.
+class CancelAfterOp : public Operator {
+ public:
+  CancelAfterOp(std::unique_ptr<Operator> child, CancellationToken* token,
+                uint64_t after)
+      : child_(std::move(child)), token_(token), after_(after) {}
+
+  Status Open() override { return child_->Open(); }
+  Status Next(Tuple* out, bool* eof) override {
+    if (++seen_ > after_) token_->Cancel("test: cancel mid-spill");
+    XPRS_RETURN_IF_ERROR(token_->Check());
+    return child_->Next(out, eof);
+  }
+  Status Close() override { return child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  CancellationToken* const token_;
+  const uint64_t after_;
+  uint64_t seen_ = 0;
+};
+
+// A sort cancelled after several runs have already spilled must surface
+// Cancelled from Open, drop every temp run, and leave zero pinned frames.
+TEST_F(SpillTest, ExternalSortCancelledMidSpillReleasesRuns) {
+  BufferPool pool(array_.get(), 8);
+  CancellationToken token;
+  ExecContext ctx;
+  ctx.pool = &pool;
+  ctx.cancel = &token;
+
+  auto scan = std::make_unique<SeqScanOp>(t_, Predicate(), ctx);
+  auto fuse =
+      std::make_unique<CancelAfterOp>(std::move(scan), &token, /*after=*/500);
+  ExternalSortOp sort(std::move(fuse), 0, Spilling(64));
+  Status st = sort.Open();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_GE(sort.runs_spilled(), 5u);  // 500+ tuples / 64 per run
+  EXPECT_EQ(sort.open_runs(), 0u);
+  EXPECT_EQ(pool.PinnedFrames(), 0u);
+}
+
+// Same for a grace hash join cancelled while partitioning: every build and
+// probe partition file is dropped, pins balance.
+TEST_F(SpillTest, GraceHashJoinCancelledMidSpillReleasesPartitions) {
+  BufferPool pool(array_.get(), 8);
+  CancellationToken token;
+  ExecContext ctx;
+  ctx.pool = &pool;
+  ctx.cancel = &token;
+
+  auto outer = std::make_unique<SeqScanOp>(t_, Predicate(), ctx);
+  auto inner = std::make_unique<SeqScanOp>(s_, Predicate(), ctx);
+  // The build side (500 tuples) exceeds the budget, so partitioning
+  // starts; the fuse on the probe side then cancels mid-partition.
+  auto fuse =
+      std::make_unique<CancelAfterOp>(std::move(outer), &token, /*after=*/300);
+  GraceHashJoinOp join(std::move(fuse), std::move(inner), 0, 0, Spilling(64),
+                       4);
+  Status st = join.Open();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(join.open_partitions(), 0u);
+  EXPECT_EQ(pool.PinnedFrames(), 0u);
+}
+
 }  // namespace
 }  // namespace xprs

@@ -1,16 +1,20 @@
 // Profiled 3-way-join run: the EXPLAIN ANALYZE showcase bench.
 //
 // Builds a fixed synthetic orders/custs catalog, runs a 3-join aggregate
-// query twice — sequentially and through the parallel master — and prints
-// both EXPLAIN ANALYZE reports. With --profile-out= the parallel run's
-// profile is dumped as JSON; --metrics-out= / --trace-out= capture the
-// metrics snapshot (profile.* counters included) and the Chrome trace with
-// the profiler's utilization counter track. Used by scripts/ci.sh to
-// schema-validate the emitted profile artifacts.
+// query three times — sequentially, vectorized, and through the parallel
+// master — and prints the EXPLAIN ANALYZE reports plus the tuple-vs-batch
+// wall-clock speedup. With --profile-out= the parallel run's profile is
+// dumped as JSON; --metrics-out= / --trace-out= capture the metrics
+// snapshot (profile.* counters included) and the Chrome trace with the
+// profiler's utilization counter track. Used by scripts/ci.sh to
+// schema-validate the emitted profile artifacts. (bench_exec is the
+// dedicated tuple-vs-vectorized throughput gate; the comparison here is
+// informational.)
 //
 //   bench_profile [--rows=N] [--trace-out=f] [--metrics-out=f]
 //                 [--profile-out=f]
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -70,13 +74,40 @@ int Run(int argc, char** argv) {
 
   std::printf("== bench_profile: %s\n", sql.c_str());
 
+  const auto seq_start = std::chrono::steady_clock::now();
   auto seq = engine.ExplainAnalyze(sql);
+  const auto seq_end = std::chrono::steady_clock::now();
   if (!seq.ok()) {
     std::fprintf(stderr, "sequential: %s\n", seq.status().ToString().c_str());
     return 1;
   }
   std::printf("\n-- sequential EXPLAIN ANALYZE --\n%s\n",
               seq->analyze_text.c_str());
+
+  ExecContext vec_ctx;
+  vec_ctx.vectorized = true;
+  const auto vec_start = std::chrono::steady_clock::now();
+  auto vec = engine.ExplainAnalyze(sql, vec_ctx);
+  const auto vec_end = std::chrono::steady_clock::now();
+  if (!vec.ok()) {
+    std::fprintf(stderr, "vectorized: %s\n", vec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- vectorized EXPLAIN ANALYZE --\n%s\n",
+              vec->analyze_text.c_str());
+  if (seq->rows.size() != vec->rows.size() ||
+      seq->rows[0].ToString() != vec->rows[0].ToString()) {
+    std::fprintf(stderr, "result mismatch: seq=%s vec=%s\n",
+                 seq->rows[0].ToString().c_str(),
+                 vec->rows[0].ToString().c_str());
+    return 1;
+  }
+  const double seq_ms =
+      std::chrono::duration<double, std::milli>(seq_end - seq_start).count();
+  const double vec_ms =
+      std::chrono::duration<double, std::milli>(vec_end - vec_start).count();
+  std::printf("tuple %.2f ms, vectorized %.2f ms (%.2fx)\n\n", seq_ms, vec_ms,
+              vec_ms > 0 ? seq_ms / vec_ms : 0.0);
 
   MasterOptions options;
   options.obs = bench_obs.obs();

@@ -18,12 +18,12 @@ JOBS="${1:-4}"
 # after the full build is a build artifact escaping the gitignored trees.
 STATUS_BEFORE="$(git status --porcelain)"
 
-echo "==> [1/6] default config (tier1)"
+echo "==> [1/7] default config (tier1)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "${JOBS}"
 ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [2/6] profile/trace schema validation"
+echo "==> [2/7] profile/trace schema validation"
 # One profiled bench run, then structural validation of every emitted JSON
 # artifact: the Chrome trace, the metrics snapshot (p50/p95/p99 present on
 # histograms), and the QueryProfile document. Guards the contract consumed
@@ -73,7 +73,32 @@ print(f"profile schema ok: {len(profile['operators'])} operators, "
       f"{len(trace['traceEvents'])} trace events")
 PYEOF
 
-echo "==> [3/6] asan+ubsan config (tier1 + slow)"
+echo "==> [3/7] vectorized executor throughput gate"
+# Tuple vs batch engine on CPU-bound workloads (kInstant disk). The batch
+# path's whole point is amortizing per-tuple costs, so the gate fails if
+# the scan+filter or hash-join speedup drops below 2x. Results land in
+# build/ (gitignored) for the perf dashboard; correctness of the batch
+# path itself is covered by the tier1 differential oracle above, which
+# runs every generated plan through six vectorized modes.
+./build/bench/bench_exec --rows=200000 --reps=5 --out=build/BENCH_exec.json
+python3 - build/BENCH_exec.json <<'PYEOF'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+by_name = {w["name"]: w for w in bench["workloads"]}
+for name in ("scan_filter", "hash_join_count", "join_group_sum"):
+    assert name in by_name, f"bench_exec: missing workload {name}"
+for name in ("scan_filter", "hash_join_count"):
+    speedup = by_name[name]["speedup"]
+    assert speedup >= 2.0, \
+        f"bench_exec: {name} vectorized speedup {speedup:.2f}x < 2.0x"
+assert by_name["join_group_sum"]["speedup"] >= 1.0, \
+    "bench_exec: join_group_sum vectorized run slower than tuple run"
+print("vectorized speedups ok: " + ", ".join(
+    f"{w['name']}={w['speedup']:.2f}x" for w in bench["workloads"]))
+PYEOF
+
+echo "==> [4/7] asan+ubsan config (tier1 + slow)"
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
@@ -85,7 +110,7 @@ cmake --build build-asan -j "${JOBS}"
 ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "==> [4/6] tsan config (concurrency subset)"
+echo "==> [5/7] tsan config (concurrency subset)"
 # ThreadSanitizer catches the races the resilience layer is most exposed
 # to: the cancellation token, the done-queue control loop, the retry
 # ladder re-launching fragment runs, and buffer-pool admission counters.
@@ -98,7 +123,7 @@ TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan \
   -R '(fault|resilience|parallel|master|throttle|obs_concurrency|spill)_test' \
   --output-on-failure -j "${JOBS}"
 
-echo "==> [5/6] fixed-seed chaos smoke (tier1-gated)"
+echo "==> [6/7] fixed-seed chaos smoke (tier1-gated)"
 # Runs only once the tier1 + sanitizer stages above are green. Every mode
 # executes under a 2% read-fault injector and must recover or fail
 # retryably; the fixed seed keeps the pass reproducible, and the watchdog
@@ -108,7 +133,7 @@ echo "==> [5/6] fixed-seed chaos smoke (tier1-gated)"
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/stress_differential \
   --seed=20260807 --iters=3 --chaos --fault-rate=0.02 --timeout-ms=300000
 
-echo "==> [6/6] artifact hygiene"
+echo "==> [7/7] artifact hygiene"
 # Build trees, object files and trace/metric dumps are gitignored; a full
 # build + test cycle must not add anything to git status. New entries are
 # build artifacts escaping into the source tree — fail loudly.

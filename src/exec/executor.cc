@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include "exec/batch_ops.h"
 #include "exec/profile.h"
 #include "exec/spill_ops.h"
 #include "util/check.h"
@@ -16,6 +17,15 @@ StatusOr<std::unique_ptr<Operator>> Build(const PlanNode& plan,
                                           int num_partitions,
                                           int partition_index,
                                           bool partition_leftmost) {
+  // Vectorized mode: compile maximal batch-capable subtrees to the batch
+  // operators. Non-vectorizable ancestors (sort, merge join, ...) fall
+  // through to the tuple operators below, and their child recursion lands
+  // back here — so mixed plans get a tuple crown over vectorized subtrees.
+  if (ctx.vectorized &&
+      VectorizableSubtree(plan, ctx, partition_leftmost, nullptr)) {
+    return BuildVectorizedTree(plan, ctx, num_partitions, partition_index,
+                               partition_leftmost, nullptr);
+  }
   std::unique_ptr<Operator> op;
   switch (plan.kind) {
     case PlanKind::kSeqScan: {
@@ -113,6 +123,13 @@ StatusOr<std::vector<Tuple>> ExecutePlanSequential(const PlanNode& plan,
   XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
                         BuildOperatorTree(plan, ctx));
   return Drain(root.get());
+}
+
+StatusOr<std::vector<Tuple>> ExecutePlanVectorized(const PlanNode& plan,
+                                                   const ExecContext& ctx) {
+  ExecContext vectorized_ctx = ctx;
+  vectorized_ctx.vectorized = true;
+  return ExecutePlanSequential(plan, vectorized_ctx);
 }
 
 StatusOr<std::vector<Tuple>> ExecutePlanResilient(

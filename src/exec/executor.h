@@ -24,6 +24,11 @@ StatusOr<std::unique_ptr<Operator>> BuildOperatorTree(
 StatusOr<std::vector<Tuple>> ExecutePlanSequential(const PlanNode& plan,
                                                    const ExecContext& ctx);
 
+/// ExecutePlanSequential with ctx.vectorized forced on: batch-capable
+/// subtrees run through the ColumnBatch operators (exec/batch_ops.h).
+StatusOr<std::vector<Tuple>> ExecutePlanVectorized(const PlanNode& plan,
+                                                   const ExecContext& ctx);
+
 /// Knobs for ExecutePlanResilient.
 struct ResilientExecOptions {
   /// Budget per rung of the ladder (the first attempt counts).

@@ -1,7 +1,10 @@
 #include "exec/expr.h"
 
 #include <algorithm>
+#include <iterator>
+#include <numeric>
 
+#include "exec/batch.h"
 #include "util/check.h"
 #include "util/str.h"
 
@@ -94,6 +97,100 @@ bool EvalCompare(const Value& v, CmpOp op, const Value& constant) {
   return false;
 }
 
+// Column-wise comparison: appends the rows of `in` whose (non-NULL) value
+// in `column` compares true against `constant`. Mirrors EvalCompare,
+// including the CompareValues type CHECK — which only fires for rows that
+// actually hold a non-NULL value, so all-NULL columns pass as on the
+// tuple path.
+void EvalCompareColumn(const ColumnBatch& batch, size_t column, CmpOp op,
+                       const Value& constant, const std::vector<uint32_t>& in,
+                       std::vector<uint32_t>* out) {
+  if (IsNull(constant)) return;  // NULL comparisons are always false
+  XPRS_CHECK_LT(column, batch.num_columns());
+  const ColumnBatch::Column& col = batch.column(column);
+  if (const int32_t* c = std::get_if<int32_t>(&constant)) {
+    const bool types_match =
+        batch.schema().column(column).type == TypeId::kInt4;
+    const int32_t k = *c;
+    // One tight loop per operator: the branch on `op` stays out of the
+    // per-row path.
+    switch (op) {
+      case CmpOp::kEq:
+        for (uint32_t r : in)
+          if (!col.nulls[r]) {
+            XPRS_CHECK_MSG(types_match, "comparing values of unequal types");
+            if (col.ints[r] == k) out->push_back(r);
+          }
+        break;
+      case CmpOp::kNe:
+        for (uint32_t r : in)
+          if (!col.nulls[r]) {
+            XPRS_CHECK_MSG(types_match, "comparing values of unequal types");
+            if (col.ints[r] != k) out->push_back(r);
+          }
+        break;
+      case CmpOp::kLt:
+        for (uint32_t r : in)
+          if (!col.nulls[r]) {
+            XPRS_CHECK_MSG(types_match, "comparing values of unequal types");
+            if (col.ints[r] < k) out->push_back(r);
+          }
+        break;
+      case CmpOp::kLe:
+        for (uint32_t r : in)
+          if (!col.nulls[r]) {
+            XPRS_CHECK_MSG(types_match, "comparing values of unequal types");
+            if (col.ints[r] <= k) out->push_back(r);
+          }
+        break;
+      case CmpOp::kGt:
+        for (uint32_t r : in)
+          if (!col.nulls[r]) {
+            XPRS_CHECK_MSG(types_match, "comparing values of unequal types");
+            if (col.ints[r] > k) out->push_back(r);
+          }
+        break;
+      case CmpOp::kGe:
+        for (uint32_t r : in)
+          if (!col.nulls[r]) {
+            XPRS_CHECK_MSG(types_match, "comparing values of unequal types");
+            if (col.ints[r] >= k) out->push_back(r);
+          }
+        break;
+    }
+    return;
+  }
+  const std::string& k = std::get<std::string>(constant);
+  const bool types_match = batch.schema().column(column).type == TypeId::kText;
+  for (uint32_t r : in) {
+    if (col.nulls[r]) continue;
+    XPRS_CHECK_MSG(types_match, "comparing values of unequal types");
+    const int c = col.texts[r].compare(k);
+    bool pass = false;
+    switch (op) {
+      case CmpOp::kEq:
+        pass = c == 0;
+        break;
+      case CmpOp::kNe:
+        pass = c != 0;
+        break;
+      case CmpOp::kLt:
+        pass = c < 0;
+        break;
+      case CmpOp::kLe:
+        pass = c <= 0;
+        break;
+      case CmpOp::kGt:
+        pass = c > 0;
+        break;
+      case CmpOp::kGe:
+        pass = c >= 0;
+        break;
+    }
+    if (pass) out->push_back(r);
+  }
+}
+
 }  // namespace
 
 bool Predicate::Eval(const Tuple& tuple) const {
@@ -112,7 +209,71 @@ bool Predicate::Eval(const Tuple& tuple) const {
   return false;
 }
 
+void Predicate::EvalBatchNode(const Node& node, const ColumnBatch& batch,
+                              const std::vector<uint32_t>& in,
+                              std::vector<uint32_t>* out) {
+  switch (node.kind) {
+    case Kind::kTrue:
+      *out = in;
+      return;
+    case Kind::kCompare:
+      EvalCompareColumn(batch, node.column, node.op, node.constant, in, out);
+      return;
+    case Kind::kAnd: {
+      // Sequential refinement: the right side only sees left survivors.
+      std::vector<uint32_t> mid;
+      EvalBatchNode(*node.left, batch, in, &mid);
+      EvalBatchNode(*node.right, batch, mid, out);
+      return;
+    }
+    case Kind::kOr: {
+      // Both subsets of the ascending `in` stay sorted, so a merge dedups.
+      std::vector<uint32_t> a, b;
+      EvalBatchNode(*node.left, batch, in, &a);
+      EvalBatchNode(*node.right, batch, in, &b);
+      std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                     std::back_inserter(*out));
+      return;
+    }
+  }
+}
+
+void Predicate::FilterBatch(ColumnBatch* batch) const {
+  if (node_->kind == Kind::kTrue) return;  // every active row survives
+  std::vector<uint32_t> in;
+  if (batch->has_selection()) {
+    in = batch->selection();
+  } else {
+    in.resize(batch->size());
+    std::iota(in.begin(), in.end(), 0u);
+  }
+  std::vector<uint32_t> out;
+  out.reserve(in.size());
+  EvalBatchNode(*node_, *batch, in, &out);
+  batch->SetSelection(std::move(out));
+}
+
 bool Predicate::IsTrue() const { return node_->kind == Kind::kTrue; }
+
+void Predicate::CollectColumns(std::vector<uint8_t>* mask) const {
+  std::vector<const Node*> stack = {node_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    switch (n->kind) {
+      case Kind::kTrue:
+        break;
+      case Kind::kCompare:
+        if (n->column < mask->size()) (*mask)[n->column] = 1;
+        break;
+      case Kind::kAnd:
+      case Kind::kOr:
+        stack.push_back(n->left.get());
+        stack.push_back(n->right.get());
+        break;
+    }
+  }
+}
 
 bool Predicate::ExtractKeyRange(size_t column, KeyRange* range) const {
   const Node* n = node_.get();

@@ -19,6 +19,8 @@
 
 namespace xprs {
 
+class ColumnBatch;
+
 /// Comparison operators.
 enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
@@ -43,6 +45,11 @@ class Predicate {
   /// Evaluates against a tuple. NULL comparisons are false (SQL-ish).
   bool Eval(const Tuple& tuple) const;
 
+  /// Vectorized Eval: refines `batch`'s selection vector to the active
+  /// rows satisfying the predicate, without materializing survivors. One
+  /// column-wise pass per comparison node; same NULL semantics as Eval.
+  void FilterBatch(ColumnBatch* batch) const;
+
   /// True when this predicate is the constant TRUE.
   bool IsTrue() const;
 
@@ -55,6 +62,12 @@ class Predicate {
   /// `offset` columns (join right sides).
   Predicate ShiftColumns(size_t offset) const;
 
+  /// Marks every column this predicate reads in `mask` (one byte per
+  /// column; references past mask->size() are ignored). Drives the batch
+  /// builders' column pruning: a pruned scan must still decode the
+  /// columns its filter evaluates.
+  void CollectColumns(std::vector<uint8_t>* mask) const;
+
   std::string ToString() const;
 
  private:
@@ -62,6 +75,12 @@ class Predicate {
 
   struct Node;
   explicit Predicate(std::shared_ptr<const Node> node);
+
+  // Evaluates `node` over the rows listed in `in` (ascending physical
+  // indices), appending survivors to *out in the same order.
+  static void EvalBatchNode(const Node& node, const ColumnBatch& batch,
+                            const std::vector<uint32_t>& in,
+                            std::vector<uint32_t>* out);
 
   std::shared_ptr<const Node> node_;
 };

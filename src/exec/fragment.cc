@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/batch_ops.h"
 #include "exec/profile.h"
 #include "exec/spill_ops.h"
 
@@ -227,6 +228,48 @@ StatusOr<std::unique_ptr<Operator>> BuildFrag(
        node->kind == PlanKind::kIndexScan)) {
     XPRS_ASSIGN_OR_RETURN(std::unique_ptr<Operator> leaf, (*factory)(node));
     return MaybeCancelGuard(std::move(leaf), ctx.cancel);
+  }
+
+  // Vectorized mode: compile maximal batch-capable subtrees, bridging
+  // foreign leaves (blocked fragment inputs, the dynamically driven leaf)
+  // into the batch pipeline through BatchFromTupleOp. Non-vectorizable
+  // subtrees fall through to the tuple operators below.
+  if (ctx.vectorized) {
+    BatchLeafHooks hooks;
+    hooks.is_leaf = [&frag, factory](const PlanNode* n, bool leftmost) {
+      return frag.blocked_inputs.count(n) > 0 ||
+             (leftmost && factory != nullptr &&
+              (n->kind == PlanKind::kSeqScan ||
+               n->kind == PlanKind::kIndexScan));
+    };
+    hooks.make = [&frag, &inputs, &ctx, factory](const PlanNode* n,
+                                                 bool leftmost)
+        -> StatusOr<std::unique_ptr<BatchOperator>> {
+      // Mirrors the tuple-path leaf substitution above: the driving
+      // factory serves the driving leaf, materialized producer output
+      // serves every other blocked input. Neither is profiled.
+      std::unique_ptr<Operator> leaf;
+      auto blocked_leaf = frag.blocked_inputs.find(n);
+      if (blocked_leaf != frag.blocked_inputs.end() &&
+          !(leftmost && factory != nullptr)) {
+        auto temp = inputs.find(blocked_leaf->second);
+        if (temp == inputs.end() || temp->second == nullptr)
+          return Status::FailedPrecondition(
+              StrFormat("fragment %d input (fragment %d) not materialized",
+                        frag.id, blocked_leaf->second));
+        leaf = std::make_unique<TempSourceOp>(temp->second);
+      } else {
+        XPRS_ASSIGN_OR_RETURN(leaf, (*factory)(n));
+      }
+      return std::unique_ptr<BatchOperator>(
+          std::make_unique<BatchFromTupleOp>(
+              MaybeCancelGuard(std::move(leaf), ctx.cancel),
+              ctx.batch_rows));
+    };
+    if (VectorizableSubtree(*node, ctx, partition_leftmost, &hooks)) {
+      return BuildVectorizedTree(*node, ctx, num_partitions, partition_index,
+                                 partition_leftmost, &hooks);
+    }
   }
 
   std::unique_ptr<Operator> op;

@@ -125,6 +125,8 @@ IndexScanOp::IndexScanOp(Table* table, Predicate predicate, KeyRange range,
 }
 
 Status IndexScanOp::Open() {
+  // No cleanup needed on failure: the iterator is the only resource and it
+  // is only installed on success; page pins are scoped to each Next call.
   XPRS_ASSIGN_OR_RETURN(it_,
                         table_->index()->ScanChecked(range_.lo, range_.hi));
   tuples_fetched_ = 0;
@@ -257,6 +259,19 @@ HashJoinOp::HashJoinOp(std::unique_ptr<Operator> outer,
       schema_(Schema::Concat(outer_->schema(), inner_->schema())) {}
 
 Status HashJoinOp::Open() {
+  Status st = OpenImpl();
+  if (!st.ok()) {
+    // A failed build must not leak the open inner child (or its pinned
+    // buffer frames): Drain and the blocking consumers above skip Close
+    // after a failed Open. Closes are tolerant of never-opened children.
+    table_.clear();
+    (void)inner_->Close();
+    (void)outer_->Close();
+  }
+  return st;
+}
+
+Status HashJoinOp::OpenImpl() {
   table_.clear();
   build_rows_ = 0;
   probing_ = false;
@@ -318,6 +333,17 @@ MergeJoinOp::MergeJoinOp(std::unique_ptr<Operator> outer,
       schema_(Schema::Concat(outer_->schema(), inner_->schema())) {}
 
 Status MergeJoinOp::Open() {
+  Status st = OpenImpl();
+  if (!st.ok()) {
+    // The outer (often a sorted, blocking subtree) must not stay open when
+    // the inner's Open fails.
+    (void)outer_->Close();
+    (void)inner_->Close();
+  }
+  return st;
+}
+
+Status MergeJoinOp::OpenImpl() {
   XPRS_RETURN_IF_ERROR(outer_->Open());
   XPRS_RETURN_IF_ERROR(inner_->Open());
   outer_eof_ = have_outer_ = false;
@@ -415,6 +441,15 @@ AggregateOp::AggregateOp(std::unique_ptr<Operator> child, Schema output_schema,
 }
 
 Status AggregateOp::Open() {
+  Status st = OpenImpl();
+  if (!st.ok()) {
+    results_.clear();
+    (void)child_->Close();  // a failed drain must not leak the open child
+  }
+  return st;
+}
+
+Status AggregateOp::OpenImpl() {
   results_.clear();
   pos_ = 0;
 
@@ -503,6 +538,15 @@ SortOp::SortOp(std::unique_ptr<Operator> child, size_t sort_key)
     : child_(std::move(child)), sort_key_(sort_key) {}
 
 Status SortOp::Open() {
+  Status st = OpenImpl();
+  if (!st.ok()) {
+    rows_.clear();
+    (void)child_->Close();  // a failed drain must not leak the open child
+  }
+  return st;
+}
+
+Status SortOp::OpenImpl() {
   rows_.clear();
   pos_ = 0;
   XPRS_RETURN_IF_ERROR(child_->Open());
@@ -616,12 +660,18 @@ StatusOr<PageHandle> FetchWithBackpressure(const ExecContext& ctx,
 
 StatusOr<std::vector<Tuple>> Drain(Operator* op) {
   XPRS_CHECK(op != nullptr);
+  // A failed Open cleans up after itself (operators close their children on
+  // every failure exit), so Close is owed only once Open has succeeded.
   XPRS_RETURN_IF_ERROR(op->Open());
   std::vector<Tuple> rows;
   for (;;) {
     Tuple tuple;
     bool eof;
-    XPRS_RETURN_IF_ERROR(op->Next(&tuple, &eof));
+    Status st = op->Next(&tuple, &eof);
+    if (!st.ok()) {
+      (void)op->Close();  // release scan pins held mid-page
+      return st;
+    }
     if (eof) break;
     rows.push_back(std::move(tuple));
   }

@@ -56,6 +56,13 @@ struct ExecContext {
   /// Trace/metrics target for resilience events raised on the execution
   /// path (backpressure retries, degradations). Optional.
   Observability obs;
+  /// When true, plan builders compile vectorizable subtrees (SeqScan /
+  /// HashJoin / Aggregate; see exec/batch_ops.h) to batch-at-a-time
+  /// operators bridged through a VectorizedAdapterOp. Plans (or subtrees)
+  /// the batch path cannot run fall back to the tuple operators.
+  bool vectorized = false;
+  /// Target rows per ColumnBatch on the vectorized path.
+  size_t batch_rows = 1024;
 };
 
 /// Base iterator.
@@ -218,6 +225,8 @@ class HashJoinOp : public Operator {
   size_t build_rows() const { return build_rows_; }
 
  private:
+  Status OpenImpl();
+
   std::unique_ptr<Operator> outer_;
   std::unique_ptr<Operator> inner_;
   const size_t left_key_, right_key_;
@@ -241,6 +250,7 @@ class MergeJoinOp : public Operator {
   const Schema& schema() const override { return schema_; }
 
  private:
+  Status OpenImpl();
   Status AdvanceOuter();
   Status LoadInnerGroup(int32_t key);
 
@@ -276,6 +286,8 @@ class AggregateOp : public Operator {
   const Schema& schema() const override { return schema_; }
 
  private:
+  Status OpenImpl();
+
   std::unique_ptr<Operator> child_;
   const Schema schema_;
   const AggFunc func_;
@@ -295,6 +307,8 @@ class SortOp : public Operator {
   const Schema& schema() const override { return child_->schema(); }
 
  private:
+  Status OpenImpl();
+
   std::unique_ptr<Operator> child_;
   const size_t sort_key_;
   std::vector<Tuple> rows_;

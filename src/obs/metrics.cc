@@ -57,12 +57,16 @@ double Histogram::Percentile(double q) const {
   // Find the bucket holding the q-th sample, then interpolate linearly
   // between its bounds by the rank's position within the bucket.
   const double rank = q * static_cast<double>(count_);
+  // q * count can land a hair above an exact integer cumulative count
+  // (e.g. 0.07 * 100 = 7.000000000000001); without a tolerance the
+  // comparison below skips the bucket whose last sample *is* the rank.
+  const double rank_eps = 1e-9 * static_cast<double>(count_);
   uint64_t seen = 0;
   for (size_t b = 0; b < buckets_.size(); ++b) {
     if (buckets_[b] == 0) continue;
     const double before = static_cast<double>(seen);
     seen += buckets_[b];
-    if (rank > static_cast<double>(seen)) continue;
+    if (rank - static_cast<double>(seen) > rank_eps) continue;
     // Bucket b spans (lo, hi]: lo = bounds_[b-1] (min_ for the first),
     // hi = bounds_[b] (max_ for the overflow bucket).
     double lo = b == 0 ? min_ : bounds_[b - 1];
@@ -70,7 +74,8 @@ double Histogram::Percentile(double q) const {
     lo = std::max(lo, min_);
     hi = std::min(hi, max_);
     if (hi <= lo) return hi;
-    const double frac = (rank - before) / static_cast<double>(buckets_[b]);
+    const double frac = std::min(
+        1.0, (rank - before) / static_cast<double>(buckets_[b]));
     return lo + frac * (hi - lo);
   }
   return max_;

@@ -96,7 +96,7 @@ Status DifferentialOracle::Compare(const PlanNode& plan,
 }
 
 StatusOr<std::vector<Tuple>> DifferentialOracle::RunParallelFragments(
-    const PlanNode& plan, int degree) {
+    const PlanNode& plan, int degree, bool vectorized) {
   FragmentGraph graph = FragmentGraph::Decompose(plan);
   std::map<int, TempResult> done;
   for (int id : graph.TopologicalOrder()) {
@@ -106,6 +106,7 @@ StatusOr<std::vector<Tuple>> DifferentialOracle::RunParallelFragments(
     ParallelFragmentRun::Options run_options;
     run_options.initial_parallelism = degree;
     run_options.max_slots = std::max(options_.max_slots, degree);
+    run_options.ctx.vectorized = vectorized;
     ParallelFragmentRun run(&graph, id, std::move(inputs), run_options);
     XPRS_RETURN_IF_ERROR(run.Start());
     if (options_.adjust_during_run) {
@@ -216,6 +217,84 @@ Status DifferentialOracle::CheckPlan(const PlanNode& plan) {
           StrFormat("pooled run left %d pinned frames\nplan:\n%s",
                     static_cast<int>(pool.PinnedFrames()),
                     plan.ToString().c_str()));
+    }
+  }
+
+  if (options_.run_vectorized) {
+    // Bare vectorized run at the default batch size.
+    {
+      XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got,
+                            ExecutePlanVectorized(plan, plain));
+      XPRS_RETURN_IF_ERROR(Compare(plan, "vectorized", reference, got));
+    }
+    // Tiny batches stress every batch-boundary carry-over path.
+    {
+      ExecContext ctx;
+      ctx.batch_rows = options_.small_batch_rows;
+      XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got,
+                            ExecutePlanVectorized(plan, ctx));
+      XPRS_RETURN_IF_ERROR(Compare(
+          plan,
+          StrFormat("vectorized(batch=%d)",
+                    static_cast<int>(options_.small_batch_rows)),
+          reference, got));
+    }
+    // Batch subtrees under fragment boundaries (temp sources bridged in
+    // through BatchFromTupleOp).
+    if (options_.run_fragmented) {
+      ExecContext ctx;
+      ctx.vectorized = true;
+      XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got,
+                            ExecutePlanFragmented(plan, ctx));
+      XPRS_RETURN_IF_ERROR(
+          Compare(plan, "vectorized-fragmented", reference, got));
+    }
+    // Batched scans over the shared pool: page pins are scoped to each
+    // page's decode, so the run must leave zero pinned frames.
+    if (options_.run_buffer_pool) {
+      BufferPool pool(array_, options_.buffer_pool_frames);
+      ExecContext ctx;
+      ctx.pool = &pool;
+      XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got,
+                            ExecutePlanVectorized(plan, ctx));
+      XPRS_RETURN_IF_ERROR(Compare(plan, "vectorized-pooled", reference, got));
+      if (pool.PinnedFrames() != 0) {
+        return Status::Internal(StrFormat(
+            "vectorized pooled run left %d pinned frames\nplan:\n%s",
+            static_cast<int>(pool.PinnedFrames()), plan.ToString().c_str()));
+      }
+    }
+    // The batch operators own their plan nodes' stats: the profiled run
+    // must be invisible to the result and account for every root row.
+    if (options_.run_profiled) {
+      QueryProfile profile(&plan);
+      ExecContext ctx;
+      ctx.profile = &profile;
+      ctx.vectorized = true;
+      XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> got,
+                            ExecutePlanSequential(plan, ctx));
+      XPRS_RETURN_IF_ERROR(
+          Compare(plan, "vectorized-profiled", reference, got));
+      const uint64_t root_out = profile.operators().front()->tuples_out.load(
+          std::memory_order_relaxed);
+      if (root_out != ref.size()) {
+        return Status::Internal(StrFormat(
+            "vectorized profiled run: root operator counted %llu tuples, "
+            "reference has %llu\nplan:\n%s",
+            static_cast<unsigned long long>(root_out),
+            static_cast<unsigned long long>(ref.size()),
+            plan.ToString().c_str()));
+      }
+    }
+    // Slave pipelines built vectorized (one degree keeps the mode cheap).
+    if (!options_.degrees.empty()) {
+      const int degree = options_.degrees.front();
+      XPRS_ASSIGN_OR_RETURN(
+          std::vector<Tuple> got,
+          RunParallelFragments(plan, degree, /*vectorized=*/true));
+      XPRS_RETURN_IF_ERROR(
+          Compare(plan, StrFormat("vectorized-parallel(%d)", degree),
+                  reference, got));
     }
   }
   return Status::OK();
@@ -433,6 +512,13 @@ Status DifferentialOracle::CheckPlanChaos(const PlanNode& plan) {
                     static_cast<int>(pool.PinnedFrames()),
                     plan.ToString().c_str()));
     }
+  }
+  if (options_.run_vectorized) {
+    // Bare vectorized run under chaos: faults surfacing mid-batch (scan
+    // decode, hash build) must propagate retryably through the adapter.
+    XPRS_RETURN_IF_ERROR(
+        ChaosCase(plan, reference, "vectorized",
+                  [&] { return ExecutePlanVectorized(plan, plain); }));
   }
   return Status::OK();
 }

@@ -19,6 +19,10 @@
 //                      (§5 extension) over a temp disk array
 //   - pooled           reads through a small shared BufferPool; the run
 //                      must leave zero pinned frames
+//   - vectorized       ctx.vectorized batch execution (exec/batch_ops.h),
+//                      run bare, with a tiny batch size (carry-over state),
+//                      fragmented, pooled (zero pinned frames), profiled
+//                      (root tuples_out must match), and parallel
 //
 // Structural invariants ride along: every plan's fragment decomposition is
 // checked with ValidateFragmentGraph, and CheckScanIoConservation asserts
@@ -61,6 +65,15 @@ struct DifferentialOptions {
   /// decorators must not change the result, and the profile's root
   /// tuples_out must equal the reference cardinality.
   bool run_profiled = true;
+  /// Re-run through the vectorized (batch-at-a-time) path: bare, with a
+  /// deliberately tiny batch size, fragmented, pooled, profiled, and at
+  /// the first configured parallel degree. Also adds a vectorized case to
+  /// chaos mode.
+  bool run_vectorized = true;
+  /// Batch size for the tiny-batch vectorized run; a small prime stresses
+  /// batch-boundary carry-over state (partial probe batches, result
+  /// slicing) that a page-aligned 1024 never hits.
+  size_t small_batch_rows = 7;
   /// Issue random Adjust() calls while parallel fragments run.
   bool adjust_during_run = true;
   /// Spill threshold (tuples in memory per operator). Small enough that
@@ -151,7 +164,8 @@ class DifferentialOracle {
                  const Canon& reference, const std::vector<Tuple>& got);
 
   StatusOr<std::vector<Tuple>> RunParallelFragments(const PlanNode& plan,
-                                                    int degree);
+                                                    int degree,
+                                                    bool vectorized = false);
   // `chaos` arms the resilience ladder (options_.chaos_retry + chaos_obs)
   // on the master so injected faults are retried / degraded instead of
   // failing the run outright.

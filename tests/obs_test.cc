@@ -195,6 +195,26 @@ TEST(MetricsTest, HistogramPercentiles) {
   EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
 }
 
+TEST(MetricsTest, PercentileBoundaryRank) {
+  // Regression: when q * count lands exactly on a bucket's cumulative
+  // count, the boundary bucket holds the requested rank. 0.07 * 100
+  // evaluates to 7.000000000000001 in binary floating point, so a naive
+  // rank > seen comparison skipped the first bucket and answered from the
+  // second (~2.0 instead of 1.0).
+  Histogram h({1.0, 2.0, 3.0});
+  for (int i = 0; i < 7; ++i) h.Observe(0.5);
+  for (int i = 0; i < 93; ++i) h.Observe(2.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.07), 1.0);
+  // Just past the boundary the answer moves to the next bucket.
+  EXPECT_GT(h.Percentile(0.08), 2.0);
+
+  // The same boundary with a single bucket holding everything below it.
+  Histogram g({10.0});
+  for (int i = 0; i < 30; ++i) g.Observe(5.0);
+  for (int i = 0; i < 70; ++i) g.Observe(15.0);
+  EXPECT_DOUBLE_EQ(g.Percentile(0.3), 10.0);
+}
+
 TEST(MetricsTest, DumpJsonIncludesPercentiles) {
   MetricsRegistry reg;
   Histogram* h = reg.histogram("lat", {1.0, 10.0});

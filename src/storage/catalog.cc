@@ -130,6 +130,7 @@ Catalog::Catalog(DiskArray* array) : array_(array) {
 
 StatusOr<Table*> Catalog::CreateTable(const std::string& name,
                                       const Schema& schema) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (tables_.count(name))
     return Status::AlreadyExists("relation " + name);
   auto table = std::make_unique<Table>(name, schema, array_);
@@ -139,9 +140,15 @@ StatusOr<Table*> Catalog::CreateTable(const std::string& name,
 }
 
 StatusOr<Table*> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("relation " + name);
   return it->second.get();
+}
+
+size_t Catalog::num_tables() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.size();
 }
 
 }  // namespace xprs

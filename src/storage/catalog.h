@@ -6,9 +6,10 @@
 
 #include <cstdint>
 #include <map>
-#include <vector>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "storage/btree.h"
 #include "storage/disk_array.h"
@@ -79,6 +80,16 @@ class Table {
 };
 
 /// Name -> Table registry over one disk array.
+///
+/// Thread-safety: the registry map is guarded by an internal mutex, so
+/// CreateTable / GetTable / num_tables may race freely — the serving layer
+/// binds queries from many sessions concurrently. Returned Table pointers
+/// are stable for the catalog's lifetime (tables are never dropped).
+/// Table *contents* follow a DDL-then-serve discipline: the mutating
+/// operations (HeapFile::Append/Flush, BuildIndex, ComputeStats) must be
+/// quiesced before concurrent query execution starts; the read paths
+/// (heap page reads, index probes, stats) are safe to share between any
+/// number of running queries.
 class Catalog {
  public:
   explicit Catalog(DiskArray* array);
@@ -91,10 +102,11 @@ class Catalog {
   /// Looks a relation up; NotFound if absent.
   StatusOr<Table*> GetTable(const std::string& name) const;
 
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const;
 
  private:
   DiskArray* const array_;
+  mutable std::mutex mutex_;  // guards tables_
   std::map<std::string, std::unique_ptr<Table>> tables_;
 };
 

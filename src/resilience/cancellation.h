@@ -57,6 +57,13 @@ class CancellationToken {
   /// afterwards. Latches an expired deadline on first observation.
   Status Check() const;
 
+  /// Steady-clock nanoseconds of the armed deadline, or -1 when none is
+  /// armed. The admission queue uses this to sleep until the earliest
+  /// queued deadline instead of polling.
+  int64_t deadline_ns() const {
+    return deadline_ns_.load(std::memory_order_acquire);
+  }
+
   /// Steady-clock nanoseconds used for deadlines (exposed for tests).
   static int64_t NowNs();
 

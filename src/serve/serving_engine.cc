@@ -1,0 +1,173 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xprs {
+
+// --- ServingSession --------------------------------------------------------
+
+StatusOr<SubmittedQuery> ServingSession::Submit(const std::string& sql,
+                                                const QueryOptions& options) {
+  return engine_->SubmitQuery(this, sql, options);
+}
+
+StatusOr<SqlResult> ServingSession::Execute(const std::string& sql,
+                                            const QueryOptions& options) {
+  XPRS_ASSIGN_OR_RETURN(SubmittedQuery submitted, Submit(sql, options));
+  return submitted.ticket.Wait();
+}
+
+void ServingSession::CancelAll() {
+  std::vector<std::shared_ptr<CancellationToken>> live;
+  {
+    std::lock_guard<std::mutex> lock(tokens_mutex_);
+    for (const std::weak_ptr<CancellationToken>& weak : tokens_)
+      if (std::shared_ptr<CancellationToken> token = weak.lock())
+        live.push_back(std::move(token));
+    tokens_.clear();
+  }
+  for (const std::shared_ptr<CancellationToken>& token : live)
+    token->Cancel("session cancelled");
+}
+
+void ServingSession::TrackToken(
+    const std::shared_ptr<CancellationToken>& token) {
+  std::lock_guard<std::mutex> lock(tokens_mutex_);
+  // Prune resolved queries' tokens so the list tracks in-flight work only.
+  tokens_.erase(std::remove_if(tokens_.begin(), tokens_.end(),
+                               [](const std::weak_ptr<CancellationToken>& w) {
+                                 return w.expired();
+                               }),
+                tokens_.end());
+  tokens_.push_back(token);
+}
+
+// --- ServingEngine ---------------------------------------------------------
+
+ServingEngine::ServingEngine(Catalog* catalog, const MachineConfig& machine,
+                             const CostModel* model, Options options)
+    : options_(std::move(options)),
+      engine_(catalog, machine, model),
+      spill_array_(machine.num_disks, DiskMode::kInstant),
+      scheduler_(options_.serve) {
+  if (options_.buffer_pool_frames > 0) {
+    pool_ = std::make_unique<BufferPool>(catalog->disk_array(),
+                                         options_.buffer_pool_frames);
+    if (options_.soft_pin_frames > 0)
+      pool_->SetSoftPinLimit(options_.soft_pin_frames);
+  }
+}
+
+ServingEngine::~ServingEngine() {
+  // Scheduler shutdown (member destruction) rejects queued queries and
+  // waits for running ones; cancel in-flight work first so it is prompt.
+  std::vector<std::shared_ptr<ServingSession>> open;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto& [id, session] : sessions_) open.push_back(session);
+    sessions_.clear();
+  }
+  for (const std::shared_ptr<ServingSession>& session : open)
+    session->CancelAll();
+}
+
+std::shared_ptr<ServingSession> ServingEngine::OpenSession(
+    const SessionOptions& options) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  int64_t id = next_session_id_++;
+  double weight = options.weight > 0 ? options.weight : 1.0;
+  std::shared_ptr<ServingSession> session(new ServingSession(
+      this, id, options.priority, weight, options.label));
+  sessions_[id] = session;
+  return session;
+}
+
+void ServingEngine::CloseSession(
+    const std::shared_ptr<ServingSession>& session) {
+  if (session == nullptr) return;
+  session->CancelAll();
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  sessions_.erase(session->id());
+}
+
+size_t ServingEngine::num_open_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+StatusOr<SubmittedQuery> ServingEngine::SubmitQuery(
+    ServingSession* session, const std::string& sql,
+    const QueryOptions& options) {
+  // Parse, bind and cost synchronously so malformed SQL fails here, not on
+  // a worker thread; the estimate drives admission.
+  XPRS_ASSIGN_OR_RETURN(TaskProfile estimate,
+                        engine_.EstimateProfile(sql, options.shape));
+  estimate.query_id = session->id();
+  if (!session->label_.empty()) estimate.name = session->label_;
+
+  auto token = std::make_shared<CancellationToken>();
+  if (options.deadline_ms > 0) token->SetDeadlineAfterMs(options.deadline_ms);
+  session->TrackToken(token);
+
+  ServeRequest request;
+  request.estimate = estimate;
+  request.session_id = session->id();
+  request.weight = session->weight_;
+  request.priority = session->priority_;
+  request.cancel = token.get();
+  request.label = sql.substr(0, 48);
+
+  session->submitted_.fetch_add(1, std::memory_order_relaxed);
+  // The callback holds a strong reference: the caller may drop (or close)
+  // the session the moment its ticket resolves, which happens *before*
+  // on_complete fires on the scheduler thread.
+  std::shared_ptr<ServingSession> keep = session->shared_from_this();
+  std::function<void(const Status&)> user_hook = options.on_complete;
+  request.on_complete = [keep, user_hook](const Status& status) {
+    keep->completed_.fetch_add(1, std::memory_order_relaxed);
+    if (user_hook) user_hook(status);
+  };
+
+  // The closure owns the token (keeps it alive past a dropped handle) and
+  // shapes execution around the scheduler's grant.
+  const bool allow_parallel = options.allow_parallel;
+  const TreeShape shape = options.shape;
+  request.job = [this, sql, token, shape,
+                 allow_parallel](const ExecGrant& grant)
+      -> StatusOr<SqlResult> {
+    ExecContext ctx;
+    ctx.cancel = grant.cancel;
+    ctx.obs = options_.serve.obs;
+    if (pool_ != nullptr) {
+      ctx.pool = pool_.get();
+      ctx.fetch_retry = &options_.fetch_retry;
+    }
+    if (grant.degrade_to_spill) {
+      ctx.spill.temp_array = &spill_array_;
+      ctx.spill.memory_tuples = options_.degrade_spill_tuples;
+      return engine_.Execute(sql, ctx, shape);
+    }
+    if (grant.parallelism > 1 && allow_parallel) {
+      MasterOptions master = options_.master;
+      master.ctx = ctx;
+      master.max_slots = grant.parallelism;
+      master.obs = options_.serve.obs;
+      return engine_.ExecuteParallel(sql, master, shape);
+    }
+    return engine_.Execute(sql, ctx, shape);
+  };
+
+  StatusOr<ServeTicket> ticket = scheduler_.Submit(std::move(request));
+  if (!ticket.ok()) {
+    // Synchronous reject: the on_complete callback will never fire.
+    session->completed_.fetch_add(1, std::memory_order_relaxed);
+    return ticket.status();
+  }
+  SubmittedQuery submitted;
+  submitted.ticket = *ticket;
+  submitted.cancel = std::move(token);
+  return submitted;
+}
+
+}  // namespace xprs

@@ -1,6 +1,7 @@
 #include "sql/engine.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/check.h"
 #include "util/str.h"
@@ -332,6 +333,43 @@ StatusOr<SqlResult> SqlEngine::ExplainAnalyze(const std::string& sql,
 StatusOr<SqlResult> SqlEngine::ExplainAnalyzeParallel(
     const std::string& sql, const MasterOptions& options, TreeShape shape) {
   return Run(sql, &options.ctx, shape, &options, /*force_analyze=*/true);
+}
+
+StatusOr<TaskProfile> SqlEngine::EstimateProfile(const std::string& sql,
+                                                 TreeShape shape) {
+  XPRS_ASSIGN_OR_RETURN(Bound bound, Bind(sql));
+  TwoPhaseOptimizer optimizer(machine_, model_);
+  XPRS_ASSIGN_OR_RETURN(OptimizedQuery optimized,
+                        optimizer.Optimize(bound.spec, shape));
+  const PlanNode& plan = *optimized.plan;
+
+  PlanEstimate est = model_->Estimate(plan);
+  TaskProfile profile;
+  profile.name = sql.substr(0, 40);
+  // Degenerate estimates (empty relations) still need a positive T so the
+  // scheduler's io-rate classification stays defined.
+  profile.seq_time = std::max(est.seq_time, 1e-6);
+  profile.total_ios = est.ios;
+
+  // The whole plan is random-io as soon as any leaf index-scans: one
+  // pointer-chasing stream drags the aggregate bandwidth to the random
+  // ceiling (§2.3), which is the conservative admission assumption.
+  std::function<bool(const PlanNode&)> has_index_scan =
+      [&](const PlanNode& node) {
+        if (node.kind == PlanKind::kIndexScan) return true;
+        if (node.left != nullptr && has_index_scan(*node.left)) return true;
+        return node.right != nullptr && has_index_scan(*node.right);
+      };
+  profile.pattern = has_index_scan(plan) ? IoPattern::kRandom
+                                         : IoPattern::kSequential;
+
+  // Working memory: sum over fragments is the safe bound for a query whose
+  // fragments may overlap (pipelined builds feeding a probing consumer).
+  FragmentGraph graph = FragmentGraph::Decompose(plan);
+  for (int id : graph.TopologicalOrder())
+    profile.memory_pages += model_->FragmentMemoryPages(graph,
+                                                        graph.fragment(id));
+  return profile;
 }
 
 }  // namespace xprs

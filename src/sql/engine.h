@@ -38,7 +38,19 @@ struct SqlResult {
   std::string ToString() const;
 };
 
-/// The engine. Not thread-safe (one statement at a time).
+/// The engine.
+///
+/// Thread-safety: the engine holds no per-statement state — Execute /
+/// Explain / ExecuteParallel build everything (binder output, optimizer,
+/// operator trees, parallel master) on the caller's stack — so concurrent
+/// statements from different threads are safe, provided the catalog
+/// follows its DDL-then-serve discipline (see storage/catalog.h): tables
+/// referenced by in-flight queries must not be loaded, re-indexed or
+/// re-analyzed concurrently. The catalog's name map takes its own lock, the
+/// cost model is immutable, and the storage read paths (disk array, buffer
+/// pool, heap file, B+tree) are shared by parallel slaves already. The
+/// serving layer (src/serve) relies on this to run one engine under N
+/// sessions.
 class SqlEngine {
  public:
   SqlEngine(Catalog* catalog, const MachineConfig& machine,
@@ -76,6 +88,15 @@ class SqlEngine {
   StatusOr<SqlResult> ExplainAnalyzeParallel(
       const std::string& sql, const MasterOptions& options = MasterOptions(),
       TreeShape shape = TreeShape::kBushy);
+
+  /// Admission-time resource estimate for the serving layer (src/serve):
+  /// parses and optimizes `sql` and reports the whole plan viewed as one
+  /// task — estimated sequential time T, total page reads D, the dominant
+  /// i/o pattern (random as soon as the plan index-scans), and working
+  /// memory summed over the plan's fragments (hash tables, sort buffers,
+  /// in 8 KB pages). Never executes anything.
+  StatusOr<TaskProfile> EstimateProfile(const std::string& sql,
+                                        TreeShape shape = TreeShape::kBushy);
 
  private:
   struct Bound {

@@ -7,6 +7,7 @@
 #include "parallel/fragment_run.h"
 #include "parallel/master.h"
 #include "sched/machine.h"
+#include "serve/query_scheduler.h"
 #include "storage/buffer_pool.h"
 #include "util/check.h"
 #include "util/str.h"
@@ -556,6 +557,148 @@ Status DifferentialOracle::CheckRandomReadFaults(const PlanNode& plan,
   XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> retried,
                         ExecutePlanSequential(plan, plain));
   return Compare(plan, "random-fault-retry", reference, retried);
+}
+
+Status DifferentialOracle::CheckPlansConcurrent(
+    const std::vector<const PlanNode*>& plans) {
+  return RunConcurrent(plans, /*chaos=*/false);
+}
+
+Status DifferentialOracle::CheckPlansConcurrentChaos(
+    const std::vector<const PlanNode*>& plans) {
+  if (options_.chaos_read_fault_rate <= 0.0) return Status::OK();
+  return RunConcurrent(plans, /*chaos=*/true);
+}
+
+Status DifferentialOracle::RunConcurrent(
+    const std::vector<const PlanNode*>& plans, bool chaos) {
+  if (options_.concurrent_sessions <= 0 || plans.empty()) return Status::OK();
+
+  // Serial references first, with nothing armed and no pool attached.
+  ExecContext plain;
+  std::vector<Canon> references;
+  references.reserve(plans.size());
+  for (const PlanNode* plan : plans) {
+    XPRS_CHECK(plan != nullptr);
+    XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> ref,
+                          ExecutePlanSequential(*plan, plain));
+    report_.reference_rows += ref.size();
+    references.push_back(Canonicalize(ref));
+    ++report_.plans_checked;
+  }
+
+  BufferPool pool(array_, options_.buffer_pool_frames);
+
+  ServeOptions serve;
+  serve.machine = MachineConfig::PaperConfig();
+  serve.max_concurrent = options_.concurrent_sessions;
+  serve.max_queue_depth =
+      std::max(options_.concurrent_queue_depth, plans.size());
+  QueryScheduler scheduler(serve);
+
+  ScriptedFaultInjector injector;
+  if (chaos) {
+    ScriptedFaultInjector::Script script;
+    script.read_fault_rate = options_.chaos_read_fault_rate;
+    injector.Arm(script, rng_.Next());
+    array_->SetFaultInjector(&injector);
+    ++report_.fault_cases;
+  }
+
+  std::vector<ServeTicket> tickets(plans.size());
+  Status overall = Status::OK();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const PlanNode* plan = plans[i];
+    ServeRequest request;
+    PlanEstimate est = model_.Estimate(*plan);
+    request.estimate.name = StrFormat("concurrent-%d", static_cast<int>(i));
+    request.estimate.seq_time = std::max(est.seq_time, 1e-6);
+    request.estimate.total_ios = est.ios;
+    request.session_id =
+        static_cast<int64_t>(i) % options_.concurrent_sessions;
+    request.label = request.estimate.name;
+    if (chaos) {
+      // Behind the resilience ladder: injected faults are retried, and
+      // persistent pool pressure degrades to the spill path.
+      request.job = [this, plan,
+                     &pool](const ExecGrant& grant) -> StatusOr<SqlResult> {
+        ExecContext ctx;
+        ctx.pool = &pool;
+        ctx.cancel = grant.cancel;
+        ResilientExecOptions res;
+        res.retry = options_.chaos_retry;
+        res.degrade_spill_array = &temp_array_;
+        res.degrade_spill_tuples = options_.spill_memory_tuples;
+        res.obs = options_.chaos_obs;
+        XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                              ExecutePlanResilient(*plan, ctx, res));
+        SqlResult result;
+        result.rows = std::move(rows);
+        return result;
+      };
+    } else {
+      request.job = [plan,
+                     &pool](const ExecGrant& grant) -> StatusOr<SqlResult> {
+        ExecContext ctx;
+        ctx.pool = &pool;
+        ctx.cancel = grant.cancel;
+        XPRS_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                              ExecutePlanSequential(*plan, ctx));
+        SqlResult result;
+        result.rows = std::move(rows);
+        return result;
+      };
+    }
+    StatusOr<ServeTicket> ticket = scheduler.Submit(std::move(request));
+    if (!ticket.ok()) {
+      overall = Status::Internal(
+          StrFormat("concurrent submit %d rejected: %s", static_cast<int>(i),
+                    ticket.status().ToString().c_str()));
+      break;
+    }
+    tickets[i] = *ticket;
+  }
+
+  // Wait for every accepted query before disarming anything.
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (!tickets[i].valid()) continue;
+    StatusOr<SqlResult> result = tickets[i].Wait();
+    if (!result.ok()) {
+      if (chaos && IsRetryableStatus(result.status())) {
+        ++report_.chaos_retryable_failures;
+        continue;
+      }
+      if (overall.ok()) {
+        overall = Status::Internal(StrFormat(
+            "concurrent query %d failed: %s\nplan:\n%s", static_cast<int>(i),
+            result.status().ToString().c_str(),
+            plans[i]->ToString().c_str()));
+      }
+      continue;
+    }
+    Status compared =
+        Compare(*plans[i], chaos ? "concurrent-chaos" : "concurrent",
+                references[i], result->rows);
+    if (compared.ok() && chaos && injector.faults_injected() > 0)
+      ++report_.chaos_recovered;
+    if (!compared.ok() && overall.ok()) overall = compared;
+  }
+
+  scheduler.Shutdown();
+  if (chaos) {
+    array_->SetFaultInjector(nullptr);
+    report_.faults_injected += injector.faults_injected();
+  }
+  XPRS_RETURN_IF_ERROR(overall);
+  if (pool.PinnedFrames() != 0) {
+    return Status::Internal(
+        StrFormat("concurrent replay left %d pinned frames",
+                  static_cast<int>(pool.PinnedFrames())));
+  }
+  if (scheduler.NumQueued() != 0 || scheduler.NumRunning() != 0) {
+    return Status::Internal("concurrent replay left queries behind");
+  }
+  return Status::OK();
 }
 
 Status DifferentialOracle::CheckScanIoConservation(Table* table) {

@@ -23,6 +23,10 @@
 //                      run bare, with a tiny batch size (carry-over state),
 //                      fragmented, pooled (zero pinned frames), profiled
 //                      (root tuples_out must match), and parallel
+//   - concurrent       the whole plan set replayed through the serve
+//                      QueryScheduler with several sessions submitting in
+//                      parallel against a shared buffer pool
+//                      (CheckPlansConcurrent, plus a chaos variant)
 //
 // Structural invariants ride along: every plan's fragment decomposition is
 // checked with ValidateFragmentGraph, and CheckScanIoConservation asserts
@@ -100,6 +104,17 @@ struct DifferentialOptions {
   }();
   /// resilience.* metric + trace sink for chaos recoveries. Optional.
   Observability chaos_obs;
+
+  /// Concurrent mode (CheckPlansConcurrent): number of parallel sessions
+  /// replaying a plan set through the serve QueryScheduler — each plan is
+  /// submitted to one of this many round-robin sessions and executed on
+  /// the scheduler's worker threads against a shared buffer pool. Every
+  /// per-query result must match its serial reference and the pool must
+  /// end with zero pinned frames. 0 disables the mode.
+  int concurrent_sessions = 4;
+  /// Scheduler queue capacity for the concurrent mode (clamped up to the
+  /// plan-set size so replay never trips admission control).
+  size_t concurrent_queue_depth = 64;
 };
 
 /// Counters accumulated across CheckPlan / fault / conservation calls.
@@ -151,6 +166,21 @@ class DifferentialOracle {
   /// an identical run must match the reference. No-op when rate <= 0.
   Status CheckRandomReadFaults(const PlanNode& plan, double rate);
 
+  /// Concurrent mode: replays `plans` through a serve QueryScheduler with
+  /// `options.concurrent_sessions` sessions submitting in round-robin.
+  /// Serial references are computed first; each concurrently executed
+  /// query must reproduce its reference exactly, and the shared buffer
+  /// pool must end with zero pinned frames. No-op when
+  /// concurrent_sessions is 0 or `plans` is empty.
+  Status CheckPlansConcurrent(const std::vector<const PlanNode*>& plans);
+
+  /// Chaos variant of the concurrent mode: the whole replay runs with a
+  /// seeded rate-`chaos_read_fault_rate` read-fault injector armed on the
+  /// array while every query executes behind the resilience ladder
+  /// (retry + spill degrade). Each query must either match its reference
+  /// or fail with a retryable status. No-op when the rate is <= 0.
+  Status CheckPlansConcurrentChaos(const std::vector<const PlanNode*>& plans);
+
   /// §2.2 io conservation: a page-partitioned scan of `table` at every
   /// configured degree reads exactly the serial scan's pages.
   Status CheckScanIoConservation(Table* table);
@@ -181,6 +211,8 @@ class DifferentialOracle {
   Status ChaosCase(const PlanNode& plan, const Canon& reference,
                    const std::string& label,
                    const std::function<StatusOr<std::vector<Tuple>>()>& run);
+  // Shared body of the concurrent modes.
+  Status RunConcurrent(const std::vector<const PlanNode*>& plans, bool chaos);
 
   DiskArray* const array_;
   const DifferentialOptions options_;

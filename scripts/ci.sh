@@ -18,12 +18,12 @@ JOBS="${1:-4}"
 # after the full build is a build artifact escaping the gitignored trees.
 STATUS_BEFORE="$(git status --porcelain)"
 
-echo "==> [1/7] default config (tier1)"
+echo "==> [1/8] default config (tier1)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "${JOBS}"
 ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [2/7] profile/trace schema validation"
+echo "==> [2/8] profile/trace schema validation"
 # One profiled bench run, then structural validation of every emitted JSON
 # artifact: the Chrome trace, the metrics snapshot (p50/p95/p99 present on
 # histograms), and the QueryProfile document. Guards the contract consumed
@@ -73,7 +73,7 @@ print(f"profile schema ok: {len(profile['operators'])} operators, "
       f"{len(trace['traceEvents'])} trace events")
 PYEOF
 
-echo "==> [3/7] vectorized executor throughput gate"
+echo "==> [3/8] vectorized executor throughput gate"
 # Tuple vs batch engine on CPU-bound workloads (kInstant disk). The batch
 # path's whole point is amortizing per-tuple costs, so the gate fails if
 # the scan+filter or hash-join speedup drops below 2x. Results land in
@@ -98,7 +98,48 @@ print("vectorized speedups ok: " + ", ".join(
     f"{w['name']}={w['speedup']:.2f}x" for w in bench["workloads"]))
 PYEOF
 
-echo "==> [4/7] asan+ubsan config (tier1 + slow)"
+echo "==> [4/8] concurrent serving smoke"
+# Closed- and open-loop serving run through ServingEngine/QueryScheduler.
+# Schema-validates BENCH_serve.json and gates on the two properties the
+# serving layer exists for: the scheduler actually overlapped >= 2 queries
+# and the concurrent results matched the serial oracle exactly. Results
+# land in build/ (gitignored) for the perf dashboard.
+./build/bench/bench_serve --rows=2000 --clients=4 --queries-per-client=15 \
+  --qps=100,400 --open-seconds=0.5 --out=build/BENCH_serve.json
+python3 - build/BENCH_serve.json <<'PYEOF'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+for key in ("rows", "peak_running", "correctness", "closed_loop",
+            "open_loop"):
+    assert key in bench, f"bench_serve: missing {key}"
+for key in ("queries", "diffs"):
+    assert key in bench["correctness"], f"bench_serve: correctness.{key}"
+assert bench["closed_loop"], "bench_serve: no closed-loop points"
+assert bench["open_loop"], "bench_serve: no open-loop points"
+for p in bench["closed_loop"]:
+    for key in ("clients", "completed", "failed", "throughput_qps",
+                "p50_ms", "p95_ms", "p99_ms"):
+        assert key in p, f"bench_serve: closed_loop point missing {key}"
+    assert p["failed"] == 0, f"bench_serve: closed loop had failures: {p}"
+for p in bench["open_loop"]:
+    for key in ("offered_qps", "completed", "rejected", "failed",
+                "throughput_qps", "p50_ms", "p99_ms"):
+        assert key in p, f"bench_serve: open_loop point missing {key}"
+    assert p["failed"] == 0, f"bench_serve: open loop had failures: {p}"
+assert bench["correctness"]["queries"] > 0, "bench_serve: nothing checked"
+assert bench["correctness"]["diffs"] == 0, \
+    f"bench_serve: {bench['correctness']['diffs']} concurrent result diffs"
+assert bench["peak_running"] >= 2, \
+    f"bench_serve: never sustained 2 concurrent queries " \
+    f"(peak {bench['peak_running']})"
+print(f"serving ok: peak_running={bench['peak_running']}, "
+      f"{bench['correctness']['queries']} concurrent queries, 0 diffs, "
+      f"{len(bench['closed_loop'])} closed + "
+      f"{len(bench['open_loop'])} open loop points")
+PYEOF
+
+echo "==> [5/8] asan+ubsan config (tier1 + slow)"
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
@@ -110,20 +151,21 @@ cmake --build build-asan -j "${JOBS}"
 ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "==> [5/7] tsan config (concurrency subset)"
+echo "==> [6/8] tsan config (concurrency subset)"
 # ThreadSanitizer catches the races the resilience layer is most exposed
 # to: the cancellation token, the done-queue control loop, the retry
-# ladder re-launching fragment runs, and buffer-pool admission counters.
+# ladder re-launching fragment runs, buffer-pool admission counters, and
+# the serving layer's scheduler/session machinery.
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
   -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
 cmake --build build-tsan -j "${JOBS}"
 TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan \
-  -R '(fault|resilience|parallel|master|throttle|obs_concurrency|spill)_test' \
+  -R '(fault|resilience|parallel|master|throttle|obs_concurrency|spill|serve)_test' \
   --output-on-failure -j "${JOBS}"
 
-echo "==> [6/7] fixed-seed chaos smoke (tier1-gated)"
+echo "==> [7/8] fixed-seed chaos smoke (tier1-gated)"
 # Runs only once the tier1 + sanitizer stages above are green. Every mode
 # executes under a 2% read-fault injector and must recover or fail
 # retryably; the fixed seed keeps the pass reproducible, and the watchdog
@@ -133,7 +175,7 @@ echo "==> [6/7] fixed-seed chaos smoke (tier1-gated)"
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/stress_differential \
   --seed=20260807 --iters=3 --chaos --fault-rate=0.02 --timeout-ms=300000
 
-echo "==> [7/7] artifact hygiene"
+echo "==> [8/8] artifact hygiene"
 # Build trees, object files and trace/metric dumps are gitignored; a full
 # build + test cycle must not add anything to git status. New entries are
 # build artifacts escaping into the source tree — fail loudly.

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_obs.h"
 #include "exec/executor.h"
 #include "exec/plan.h"
 #include "storage/catalog.h"
@@ -82,9 +83,9 @@ int Run(int argc, char** argv) {
   int reps = 3;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--rows=", 7) == 0) rows = std::atoi(argv[i] + 7);
-    if (std::strncmp(argv[i], "--reps=", 7) == 0) reps = std::atoi(argv[i] + 7);
-    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    BenchFlagInt(argv[i], "--rows=", &rows);
+    BenchFlagInt(argv[i], "--reps=", &reps);
+    BenchFlagString(argv[i], "--out=", &out_path);
   }
 
   DiskArray array(4, DiskMode::kInstant);

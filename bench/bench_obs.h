@@ -22,24 +22,71 @@
 #define XPRS_BENCH_BENCH_OBS_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "exec/profile.h"
 #include "obs/obs.h"
 
 namespace xprs {
 
+// --- shared flag parsing ---------------------------------------------------
+//
+// Every bench main parses `--name=value` arguments; these helpers are the
+// one implementation (BenchObs uses the string one for its own flags).
+// Each returns true iff `arg` starts with `flag` (which must include the
+// trailing '='), writing the parsed value through `out` on a match.
+
+inline bool BenchFlagString(const char* arg, const char* flag,
+                            std::string* out) {
+  const size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+inline bool BenchFlagInt(const char* arg, const char* flag, int* out) {
+  std::string value;
+  if (!BenchFlagString(arg, flag, &value)) return false;
+  *out = std::atoi(value.c_str());
+  return true;
+}
+
+inline bool BenchFlagDouble(const char* arg, const char* flag, double* out) {
+  std::string value;
+  if (!BenchFlagString(arg, flag, &value)) return false;
+  *out = std::atof(value.c_str());
+  return true;
+}
+
+/// Comma-separated list of doubles ("--qps=100,400,1200").
+inline bool BenchFlagDoubleList(const char* arg, const char* flag,
+                                std::vector<double>* out) {
+  std::string value;
+  if (!BenchFlagString(arg, flag, &value)) return false;
+  out->clear();
+  const char* p = value.c_str();
+  while (*p != '\0') {
+    out->push_back(std::atof(p));
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return true;
+}
+
 class BenchObs {
  public:
   BenchObs(int* argc, char** argv) {
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
-      if (TakeFlag(argv[i], "--trace-out=", &trace_path_) ||
-          TakeFlag(argv[i], "--metrics-out=", &metrics_path_) ||
-          TakeFlag(argv[i], "--profile-out=", &profile_path_)) {
+      if (BenchFlagString(argv[i], "--trace-out=", &trace_path_) ||
+          BenchFlagString(argv[i], "--metrics-out=", &metrics_path_) ||
+          BenchFlagString(argv[i], "--profile-out=", &profile_path_)) {
         continue;
       }
       argv[out++] = argv[i];
@@ -51,6 +98,9 @@ class BenchObs {
   Observability obs() { return {&recorder_, &metrics_}; }
   MetricsRegistry* metrics() { return &metrics_; }
   TraceSink* trace() { return &recorder_; }
+  /// The recorder itself, for benches that post-process the events they
+  /// emitted (bench_macro's per-query span breakdown).
+  MemoryTraceRecorder* recorder() { return &recorder_; }
   bool tracing_requested() const { return !trace_path_.empty(); }
   bool profile_requested() const { return !profile_path_.empty(); }
 
@@ -101,13 +151,6 @@ class BenchObs {
   }
 
  private:
-  static bool TakeFlag(const char* arg, const char* flag, std::string* out) {
-    const size_t len = std::strlen(flag);
-    if (std::strncmp(arg, flag, len) != 0) return false;
-    *out = arg + len;
-    return true;
-  }
-
   std::string trace_path_;
   std::string metrics_path_;
   std::string profile_path_;

@@ -54,8 +54,7 @@ int Run(int argc, char** argv) {
   BenchObs bench_obs(&argc, argv);
   int orders_rows = 3000;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--rows=", 7) == 0)
-      orders_rows = std::atoi(argv[i] + 7);
+    BenchFlagInt(argv[i], "--rows=", &orders_rows);
   }
 
   DiskArray array(4, DiskMode::kInstant);

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_obs.h"
 #include "serve/serving_engine.h"
 #include "sql/engine.h"
 #include "storage/catalog.h"
@@ -268,24 +269,12 @@ int Run(int argc, char** argv) {
   std::vector<double> qps_ladder = {100, 400, 1200};
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--rows=", 7) == 0) rows = std::atoi(argv[i] + 7);
-    if (std::strncmp(argv[i], "--clients=", 10) == 0)
-      clients = std::atoi(argv[i] + 10);
-    if (std::strncmp(argv[i], "--queries-per-client=", 21) == 0)
-      queries_per_client = std::atoi(argv[i] + 21);
-    if (std::strncmp(argv[i], "--open-seconds=", 15) == 0)
-      open_seconds = std::atof(argv[i] + 15);
-    if (std::strncmp(argv[i], "--qps=", 6) == 0) {
-      qps_ladder.clear();
-      const char* p = argv[i] + 6;
-      while (*p != '\0') {
-        qps_ladder.push_back(std::atof(p));
-        const char* comma = std::strchr(p, ',');
-        if (comma == nullptr) break;
-        p = comma + 1;
-      }
-    }
-    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    BenchFlagInt(argv[i], "--rows=", &rows);
+    BenchFlagInt(argv[i], "--clients=", &clients);
+    BenchFlagInt(argv[i], "--queries-per-client=", &queries_per_client);
+    BenchFlagDouble(argv[i], "--open-seconds=", &open_seconds);
+    BenchFlagDoubleList(argv[i], "--qps=", &qps_ladder);
+    BenchFlagString(argv[i], "--out=", &out_path);
   }
 
   DiskArray array(4, DiskMode::kInstant);

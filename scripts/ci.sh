@@ -18,12 +18,12 @@ JOBS="${1:-4}"
 # after the full build is a build artifact escaping the gitignored trees.
 STATUS_BEFORE="$(git status --porcelain)"
 
-echo "==> [1/8] default config (tier1)"
+echo "==> [1/9] default config (tier1)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "${JOBS}"
 ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [2/8] profile/trace schema validation"
+echo "==> [2/9] profile/trace schema validation"
 # One profiled bench run, then structural validation of every emitted JSON
 # artifact: the Chrome trace, the metrics snapshot (p50/p95/p99 present on
 # histograms), and the QueryProfile document. Guards the contract consumed
@@ -73,7 +73,7 @@ print(f"profile schema ok: {len(profile['operators'])} operators, "
       f"{len(trace['traceEvents'])} trace events")
 PYEOF
 
-echo "==> [3/8] vectorized executor throughput gate"
+echo "==> [3/9] vectorized executor throughput gate"
 # Tuple vs batch engine on CPU-bound workloads (kInstant disk). The batch
 # path's whole point is amortizing per-tuple costs, so the gate fails if
 # the scan+filter or hash-join speedup drops below 2x. Results land in
@@ -98,7 +98,7 @@ print("vectorized speedups ok: " + ", ".join(
     f"{w['name']}={w['speedup']:.2f}x" for w in bench["workloads"]))
 PYEOF
 
-echo "==> [4/8] concurrent serving smoke"
+echo "==> [4/9] concurrent serving smoke"
 # Closed- and open-loop serving run through ServingEngine/QueryScheduler.
 # Schema-validates BENCH_serve.json and gates on the two properties the
 # serving layer exists for: the scheduler actually overlapped >= 2 queries
@@ -139,7 +139,62 @@ print(f"serving ok: peak_running={bench['peak_running']}, "
       f"{len(bench['open_loop'])} open loop points")
 PYEOF
 
-echo "==> [5/8] asan+ubsan config (tier1 + slow)"
+echo "==> [5/9] macro benchmark + perf trajectory gates"
+# The standing TPC-H-flavored macro benchmark: every engine mode over one
+# workload, with cross-mode checksums, per-query lifecycle span breakdowns
+# and the tracing-overhead measurement. Gates, in order: artifact schema,
+# cross-mode correctness, served span coverage (the lifecycle children
+# must tile each root span), the tracing-disabled overhead budget, and the
+# perf trajectory against the committed baselines (bench/baselines/) for
+# both the macro and the vectorized-executor artifacts.
+./build/bench/bench_macro --scale=4 --reps=5 --slow-ms=5 \
+  --out=build/BENCH_macro.json
+python3 - build/BENCH_macro.json <<'PYEOF'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+for key in ("scale", "distribution", "reps", "correctness", "checksums",
+            "modes", "served", "overhead"):
+    assert key in bench, f"bench_macro: missing {key}"
+modes = {m["name"]: m for m in bench["modes"]}
+for name in ("serial", "vectorized", "spill", "parallel", "served"):
+    assert name in modes, f"bench_macro: missing mode {name}"
+    for key in ("executed", "diffs", "total_seconds", "throughput_qps",
+                "p50_ms", "p95_ms", "p99_ms", "speedup_vs_serial",
+                "per_query_mean_ms"):
+        assert key in modes[name], f"bench_macro: mode {name} missing {key}"
+    assert modes[name]["diffs"] == 0, \
+        f"bench_macro: mode {name} had {modes[name]['diffs']} result diffs"
+assert bench["correctness"]["diffs"] == 0, \
+    f"bench_macro: {bench['correctness']['diffs']} cross-mode diffs"
+assert bench["checksums"], "bench_macro: no workload checksums"
+
+served = bench["served"]
+assert served["span_coverage_min"] >= 0.95, \
+    f"bench_macro: lifecycle spans cover only " \
+    f"{served['span_coverage_min']:.3f} of the worst root span (< 0.95)"
+assert served["span_breakdown"], "bench_macro: no span breakdown"
+for entry in served["span_breakdown"]:
+    for key in ("query", "runs", "total_ms", "admission_ms",
+                "queue_wait_ms", "execute_ms", "drain_ms"):
+        assert key in entry, f"bench_macro: span_breakdown missing {key}"
+assert served["slow_query_entries"] > 0, \
+    "bench_macro: slow-query log stayed empty at a 5ms threshold"
+
+overhead = bench["overhead"]["percent"]
+assert overhead <= 2.0, \
+    f"bench_macro: tracing-disabled overhead {overhead:.2f}% > 2%"
+print(f"macro schema ok: {len(modes)} modes, "
+      f"span coverage min={served['span_coverage_min']:.4f}, "
+      f"overhead={overhead:.2f}%, "
+      f"{served['slow_query_entries']} slow-query entries")
+PYEOF
+python3 scripts/perf_compare.py build/BENCH_macro.json \
+  bench/baselines/BENCH_macro.json --threshold=0.15
+python3 scripts/perf_compare.py build/BENCH_exec.json \
+  bench/baselines/BENCH_exec.json --threshold=0.15
+
+echo "==> [6/9] asan+ubsan config (tier1 + slow)"
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
@@ -151,7 +206,7 @@ cmake --build build-asan -j "${JOBS}"
 ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "==> [6/8] tsan config (concurrency subset)"
+echo "==> [7/9] tsan config (concurrency subset)"
 # ThreadSanitizer catches the races the resilience layer is most exposed
 # to: the cancellation token, the done-queue control loop, the retry
 # ladder re-launching fragment runs, buffer-pool admission counters, and
@@ -162,10 +217,10 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
 cmake --build build-tsan -j "${JOBS}"
 TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan \
-  -R '(fault|resilience|parallel|master|throttle|obs_concurrency|spill|serve)_test' \
+  -R '(fault|resilience|parallel|master|throttle|obs|obs_concurrency|spill|serve|lifecycle)_test' \
   --output-on-failure -j "${JOBS}"
 
-echo "==> [7/8] fixed-seed chaos smoke (tier1-gated)"
+echo "==> [8/9] fixed-seed chaos smoke (tier1-gated)"
 # Runs only once the tier1 + sanitizer stages above are green. Every mode
 # executes under a 2% read-fault injector and must recover or fail
 # retryably; the fixed seed keeps the pass reproducible, and the watchdog
@@ -175,7 +230,7 @@ echo "==> [7/8] fixed-seed chaos smoke (tier1-gated)"
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/stress_differential \
   --seed=20260807 --iters=3 --chaos --fault-rate=0.02 --timeout-ms=300000
 
-echo "==> [8/8] artifact hygiene"
+echo "==> [9/9] artifact hygiene"
 # Build trees, object files and trace/metric dumps are gitignored; a full
 # build + test cycle must not add anything to git status. New entries are
 # build artifacts escaping into the source tree — fail loudly.

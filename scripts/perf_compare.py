@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark artifact against the committed baseline.
+
+Usage:
+  perf_compare.py FRESH.json BASELINE.json [--threshold=0.15]
+
+Handles both standing artifacts:
+  - BENCH_macro.json (bench_macro): gates per-mode speedup_vs_serial,
+    cross-mode correctness diffs and the workload checksums.
+  - BENCH_exec.json (bench_exec): gates per-workload vectorized speedup.
+
+The artifact kind is auto-detected from its top-level keys ("modes" vs
+"workloads"), so ci.sh calls one script for both.
+
+Gating philosophy: CI machines differ wildly in absolute throughput, so
+absolute numbers (rows/s, qps, latency) are reported but never gated.
+What IS gated, at --threshold (default 15%), are machine-portable ratios —
+a mode's speedup relative to the serial engine on the same box at the same
+moment. A regression must also clear an absolute noise floor (default
+0.15x of speedup): on a loaded single-core runner the thread-handoff
+modes (parallel, served) sit well below 1x where a few milliseconds of
+scheduler jitter swings the ratio by more than 15%, and a sub-floor delta
+is not actionable. Correctness (result diffs, row checksums) is gated
+exactly: any drift fails. When a ratio regresses, the per-query
+mean-latency deltas are printed so the failure names the queries that
+moved.
+
+Exit status: 0 = no regression, 1 = regression or malformed artifact.
+"""
+
+import json
+import sys
+
+
+def fmt_pct(ratio):
+    return f"{(ratio - 1.0) * 100:+.1f}%"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def explain_macro_mode(name, fresh_mode, base_mode):
+    """Prints the per-query latency movers for a regressed mode."""
+    fresh_q = fresh_mode.get("per_query_mean_ms", {})
+    base_q = base_mode.get("per_query_mean_ms", {})
+    movers = []
+    for query, fresh_ms in fresh_q.items():
+        base_ms = base_q.get(query)
+        if base_ms is None or base_ms <= 0:
+            continue
+        movers.append((fresh_ms / base_ms, query, base_ms, fresh_ms))
+    movers.sort(reverse=True)
+    if not movers:
+        return
+    print(f"    slowest-moving queries in mode '{name}':")
+    for ratio, query, base_ms, fresh_ms in movers[:5]:
+        print(f"      {query:<24} {base_ms:8.3f} ms -> {fresh_ms:8.3f} ms "
+              f"({fmt_pct(ratio)})")
+
+
+NOISE_FLOOR = 0.15  # absolute speedup delta below which nothing is gated
+
+
+def compare_macro(fresh, base, threshold):
+    failures = []
+
+    # Correctness is exact: the macro bench cross-checks every mode against
+    # the serial oracle; any diff is a bug regardless of the baseline.
+    diffs = fresh.get("correctness", {}).get("diffs", -1)
+    if diffs != 0:
+        failures.append(f"correctness: {diffs} cross-mode result diffs")
+
+    # Checksums are seeded + FNV-1a, so they are identical across machines
+    # for a given (scale, distribution). Only comparable when the fresh run
+    # used the same workload shape as the baseline.
+    same_shape = (fresh.get("scale") == base.get("scale")
+                  and fresh.get("distribution") == base.get("distribution"))
+    if same_shape:
+        for query, want in base.get("checksums", {}).items():
+            got = fresh.get("checksums", {}).get(query)
+            if got != want:
+                failures.append(
+                    f"checksum drift on {query}: baseline {want} vs {got}")
+    else:
+        print("note: workload shape differs from baseline "
+              f"(scale {base.get('scale')} -> {fresh.get('scale')}, "
+              f"dist {base.get('distribution')} -> "
+              f"{fresh.get('distribution')}); checksum gate skipped")
+
+    fresh_modes = {m["name"]: m for m in fresh.get("modes", [])}
+    base_modes = {m["name"]: m for m in base.get("modes", [])}
+    for name in base_modes:
+        if name not in fresh_modes:
+            failures.append(f"mode '{name}' disappeared from the artifact")
+
+    print(f"{'mode':<12} {'speedup(base)':>13} {'speedup(new)':>13} "
+          f"{'delta':>8}   {'qps(base)':>10} {'qps(new)':>10}")
+    for name, base_mode in base_modes.items():
+        fresh_mode = fresh_modes.get(name)
+        if fresh_mode is None:
+            continue
+        base_speedup = base_mode.get("speedup_vs_serial", 0.0)
+        fresh_speedup = fresh_mode.get("speedup_vs_serial", 0.0)
+        base_qps = base_mode.get("throughput_qps", 0.0)
+        fresh_qps = fresh_mode.get("throughput_qps", 0.0)
+        ratio = fresh_speedup / base_speedup if base_speedup > 0 else 1.0
+        print(f"{name:<12} {base_speedup:>12.3f}x {fresh_speedup:>12.3f}x "
+              f"{fmt_pct(ratio):>8}   {base_qps:>10.1f} {fresh_qps:>10.1f}")
+        regressed = (base_speedup > 0 and ratio < 1.0 - threshold
+                     and base_speedup - fresh_speedup > NOISE_FLOOR)
+        if regressed:
+            failures.append(
+                f"mode '{name}' speedup_vs_serial regressed "
+                f"{fmt_pct(ratio)}: {base_speedup:.3f}x -> "
+                f"{fresh_speedup:.3f}x (threshold {threshold:.0%})")
+            explain_macro_mode(name, fresh_mode, base_mode)
+
+    overhead = fresh.get("overhead", {}).get("percent")
+    if overhead is not None:
+        print(f"tracing-disabled overhead: {overhead:.2f}%"
+              " (gated separately by ci.sh)")
+    return failures
+
+
+def compare_exec(fresh, base, threshold):
+    failures = []
+    fresh_w = {w["name"]: w for w in fresh.get("workloads", [])}
+    base_w = {w["name"]: w for w in base.get("workloads", [])}
+    for name in base_w:
+        if name not in fresh_w:
+            failures.append(f"workload '{name}' disappeared from the artifact")
+
+    print(f"{'workload':<18} {'speedup(base)':>13} {'speedup(new)':>13} "
+          f"{'delta':>8}")
+    for name, bw in base_w.items():
+        fw = fresh_w.get(name)
+        if fw is None:
+            continue
+        ratio = fw["speedup"] / bw["speedup"] if bw["speedup"] > 0 else 1.0
+        print(f"{name:<18} {bw['speedup']:>12.3f}x {fw['speedup']:>12.3f}x "
+              f"{fmt_pct(ratio):>8}")
+        if (bw["speedup"] > 0 and ratio < 1.0 - threshold
+                and bw["speedup"] - fw["speedup"] > NOISE_FLOOR):
+            failures.append(
+                f"workload '{name}' vectorized speedup regressed "
+                f"{fmt_pct(ratio)}: {bw['speedup']:.3f}x -> "
+                f"{fw['speedup']:.3f}x (threshold {threshold:.0%})")
+    return failures
+
+
+def main(argv):
+    threshold = 0.15
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    fresh, base = load(paths[0]), load(paths[1])
+
+    if ("modes" in fresh) != ("modes" in base):
+        print("perf_compare: artifact kinds differ between fresh and "
+              "baseline", file=sys.stderr)
+        return 1
+
+    if "modes" in fresh:
+        kind = "macro"
+        failures = compare_macro(fresh, base, threshold)
+    elif "workloads" in fresh:
+        kind = "exec"
+        failures = compare_exec(fresh, base, threshold)
+    else:
+        print("perf_compare: unrecognized artifact (no 'modes' or "
+              "'workloads' key)", file=sys.stderr)
+        return 1
+
+    if failures:
+        print(f"\nperf_compare: {kind} artifact REGRESSED "
+              f"({len(failures)} failure(s)):")
+        for f in failures:
+            print(f"  FAIL: {f}")
+        return 1
+    print(f"\nperf_compare: {kind} artifact ok "
+          f"(no ratio regression beyond {threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

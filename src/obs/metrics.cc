@@ -49,36 +49,47 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
   return buckets_;
 }
 
-double Histogram::Percentile(double q) const {
+HistogramSnapshot Histogram::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (count_ == 0) return 0.0;
-  if (q <= 0.0) return min_;
-  if (q >= 1.0) return max_;
+  HistogramSnapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.bounds = bounds_;
+  snap.buckets = buckets_;
+  return snap;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
   // Find the bucket holding the q-th sample, then interpolate linearly
   // between its bounds by the rank's position within the bucket.
-  const double rank = q * static_cast<double>(count_);
+  const double rank = q * static_cast<double>(count);
   // q * count can land a hair above an exact integer cumulative count
   // (e.g. 0.07 * 100 = 7.000000000000001); without a tolerance the
   // comparison below skips the bucket whose last sample *is* the rank.
-  const double rank_eps = 1e-9 * static_cast<double>(count_);
+  const double rank_eps = 1e-9 * static_cast<double>(count);
   uint64_t seen = 0;
-  for (size_t b = 0; b < buckets_.size(); ++b) {
-    if (buckets_[b] == 0) continue;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
     const double before = static_cast<double>(seen);
-    seen += buckets_[b];
+    seen += buckets[b];
     if (rank - static_cast<double>(seen) > rank_eps) continue;
-    // Bucket b spans (lo, hi]: lo = bounds_[b-1] (min_ for the first),
-    // hi = bounds_[b] (max_ for the overflow bucket).
-    double lo = b == 0 ? min_ : bounds_[b - 1];
-    double hi = b < bounds_.size() ? bounds_[b] : max_;
-    lo = std::max(lo, min_);
-    hi = std::min(hi, max_);
+    // Bucket b spans (lo, hi]: lo = bounds[b-1] (min for the first),
+    // hi = bounds[b] (max for the overflow bucket).
+    double lo = b == 0 ? min : bounds[b - 1];
+    double hi = b < bounds.size() ? bounds[b] : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
     if (hi <= lo) return hi;
-    const double frac = std::min(
-        1.0, (rank - before) / static_cast<double>(buckets_[b]));
+    const double frac =
+        std::min(1.0, (rank - before) / static_cast<double>(buckets[b]));
     return lo + frac * (hi - lo);
   }
-  return max_;
+  return max;
 }
 
 std::vector<double> MetricsRegistry::DefaultBounds() {
@@ -129,20 +140,23 @@ std::string MetricsRegistry::DumpJson() const {
   for (const auto& [name, h] : histograms_) {
     if (!first) out += ",";
     first = false;
+    // One snapshot per histogram: count, buckets and percentiles in the
+    // dump describe the same instant even while workers are mid-flight.
+    const HistogramSnapshot snap = h->Snapshot();
     out += StrFormat("\"%s\":{\"count\":%llu,\"sum\":%.9g,\"min\":%.9g,"
                      "\"max\":%.9g,\"buckets\":[",
                      name.c_str(),
-                     static_cast<unsigned long long>(h->count()), h->sum(),
-                     h->min(), h->max());
+                     static_cast<unsigned long long>(snap.count), snap.sum,
+                     snap.min, snap.max);
     bool first_b = true;
-    for (uint64_t b : h->bucket_counts()) {
+    for (uint64_t b : snap.buckets) {
       if (!first_b) out += ",";
       first_b = false;
       out += StrFormat("%llu", static_cast<unsigned long long>(b));
     }
     out += StrFormat("],\"p50\":%.9g,\"p95\":%.9g,\"p99\":%.9g}",
-                     h->Percentile(0.50), h->Percentile(0.95),
-                     h->Percentile(0.99));
+                     snap.Percentile(0.50), snap.Percentile(0.95),
+                     snap.Percentile(0.99));
   }
   out += "}}";
   return out;

@@ -51,6 +51,25 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// A consistent point-in-time copy of one histogram: count, sum, extremes
+/// and buckets all observed under a single lock acquisition, so
+/// `count == sum(buckets)` holds even while writers are mid-flight.
+/// Percentiles computed from a snapshot agree with its buckets.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> bounds;
+  /// bounds.size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> buckets;
+
+  /// Estimated value at quantile `q` in [0, 1], linearly interpolated
+  /// within the containing bucket and clamped to the observed [min, max].
+  /// Returns 0 when empty.
+  double Percentile(double q) const;
+};
+
 /// Fixed-boundary histogram: counts per bucket plus sum/min/max.
 /// A sample x lands in the first bucket with x <= bound; samples above the
 /// last bound land in the implicit overflow bucket.
@@ -68,10 +87,13 @@ class Histogram {
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<uint64_t> bucket_counts() const;
 
-  /// Estimated value at quantile `q` in [0, 1], linearly interpolated
-  /// within the containing bucket and clamped to the observed [min, max].
-  /// Returns 0 when empty.
-  double Percentile(double q) const;
+  /// All fields copied under one lock — the only way to read a histogram
+  /// whose parts are mutually consistent while writers are concurrent.
+  HistogramSnapshot Snapshot() const;
+
+  /// Percentile of a fresh Snapshot(). Callers needing several quantiles
+  /// of the same state should take one Snapshot and query it.
+  double Percentile(double q) const { return Snapshot().Percentile(q); }
 
  private:
   const std::vector<double> bounds_;

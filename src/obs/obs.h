@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace xprs {

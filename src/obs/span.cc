@@ -1,0 +1,87 @@
+#include "obs/span.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace xprs {
+
+namespace {
+
+double (*g_test_clock)() = nullptr;
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+}  // namespace
+
+double SpanNowSeconds() {
+  if (g_test_clock != nullptr) return g_test_clock();
+  return 1e-9 * static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count());
+}
+
+void SetSpanClockForTest(double (*clock)()) { g_test_clock = clock; }
+
+uint64_t NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResetSpanIdsForTest(uint64_t next) {
+  g_next_span_id.store(next == 0 ? 1 : next, std::memory_order_relaxed);
+}
+
+Span::Span(TraceSink* sink, std::string name, std::string category,
+           int64_t track, uint64_t parent_id)
+    : sink_(sink),
+      name_(std::move(name)),
+      category_(std::move(category)),
+      track_(track),
+      parent_(parent_id) {
+  if (sink_ == nullptr) return;
+  id_ = NextSpanId();
+  start_ = SpanNowSeconds();
+}
+
+Span::Span(Span&& other) noexcept { *this = std::move(other); }
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this == &other) return *this;
+  End();  // close whatever this span was timing before adopting the other
+  sink_ = other.sink_;
+  name_ = std::move(other.name_);
+  category_ = std::move(other.category_);
+  track_ = other.track_;
+  id_ = other.id_;
+  parent_ = other.parent_;
+  start_ = other.start_;
+  ended_ = other.ended_;
+  args_ = std::move(other.args_);
+  other.sink_ = nullptr;
+  other.ended_ = true;
+  return *this;
+}
+
+void Span::AddArg(std::string key, TraceValue value) {
+  if (!active()) return;
+  args_.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::EndAt(double end_seconds) {
+  if (!active()) return;
+  ended_ = true;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.phase = 'X';
+  event.timestamp = start_;
+  event.duration = end_seconds > start_ ? end_seconds - start_ : 0.0;
+  event.track = track_;
+  event.args = std::move(args_);
+  event.args.emplace_back("span_id", static_cast<int64_t>(id_));
+  if (parent_ != 0)
+    event.args.emplace_back("parent", static_cast<int64_t>(parent_));
+  sink_->Record(std::move(event));
+}
+
+}  // namespace xprs

@@ -1,0 +1,113 @@
+// Span/ScopedSpan: wall-clock duration tracing over a TraceSink.
+//
+// A Span measures one phase of work between its construction and End() and
+// emits a single Chrome 'X' complete event carrying the span's id and (when
+// nested) its parent's id, so consumers can rebuild the tree — the serving
+// layer uses this to give every query a root span whose children
+// (admission, queue wait, execution, drain) account for the whole
+// submit-to-resolve wall time. Spans are inert when the sink is null: no id
+// is allocated, nothing is recorded, and the hot path pays one pointer
+// test, matching the rest of the obs layer.
+//
+// Timestamps come from the process steady clock (the same clock the
+// resilience events use), so serve spans and resilience instants line up on
+// one timeline in a trace viewer. Golden tests may substitute a scripted
+// clock via SetSpanClockForTest and reset the id allocator with
+// ResetSpanIdsForTest to get byte-stable exports.
+
+#ifndef XPRS_OBS_SPAN_H_
+#define XPRS_OBS_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace xprs {
+
+/// Seconds on the process steady clock (or the test clock when installed).
+double SpanNowSeconds();
+
+/// Installs a scripted clock for golden tests; nullptr restores the steady
+/// clock. Not thread-safe — call from single-threaded test setup only.
+void SetSpanClockForTest(double (*clock)());
+
+/// Allocates the next process-unique span id (never 0).
+uint64_t NextSpanId();
+
+/// Resets the span id allocator so goldens see dense ids. Test-only.
+void ResetSpanIdsForTest(uint64_t next = 1);
+
+/// One timed phase. Move-only; the destructor ends the span if End() was
+/// not called explicitly, so early returns still close the phase.
+class Span {
+ public:
+  /// Inert span: records nothing, id() == 0.
+  Span() = default;
+
+  /// Starts a span now. With a null sink the span is inert.
+  Span(TraceSink* sink, std::string name, std::string category, int64_t track,
+       uint64_t parent_id = 0);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { End(); }
+
+  /// Attaches an argument to the event End() will emit. No-op after End().
+  void AddArg(std::string key, TraceValue value);
+
+  /// Re-targets the track (tid) — the serving layer learns the query id
+  /// after the root span already started.
+  void set_track(int64_t track) { track_ = track; }
+
+  /// Re-bases the start so this span abuts the previous phase exactly at
+  /// the boundary timestamp the predecessor ended with.
+  void set_start(double start_seconds) {
+    if (active()) start_ = start_seconds;
+  }
+
+  /// Ends the span now. Idempotent; emits exactly one 'X' event.
+  void End() { EndAt(active() ? SpanNowSeconds() : 0.0); }
+
+  /// Ends the span at an explicit timestamp, so adjacent phases can share
+  /// one boundary reading and leave no uncovered gap between them.
+  void EndAt(double end_seconds);
+
+  /// 0 for inert spans, process-unique otherwise.
+  uint64_t id() const { return id_; }
+  bool active() const { return sink_ != nullptr && !ended_; }
+  double start_seconds() const { return start_; }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::string name_;
+  std::string category_;
+  int64_t track_ = 0;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  double start_ = 0.0;
+  bool ended_ = false;
+  std::vector<std::pair<std::string, TraceValue>> args_;
+};
+
+/// RAII block scoping for a Span: ends when the scope does.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSink* sink, std::string name, std::string category,
+             int64_t track, uint64_t parent_id = 0)
+      : span_(sink, std::move(name), std::move(category), track, parent_id) {}
+
+  Span& span() { return span_; }
+  uint64_t id() const { return span_.id(); }
+
+ private:
+  Span span_;
+};
+
+}  // namespace xprs
+
+#endif  // XPRS_OBS_SPAN_H_

@@ -97,17 +97,27 @@ StatusOr<ServeTicket> QueryScheduler::Submit(ServeRequest request) {
   if (!request.job)
     return Status::InvalidArgument("serve request carries no job");
   if (request.weight <= 0) request.weight = 1.0;
+  // Direct submissions (no serving engine in front) still get a lifecycle
+  // when tracing is on, so every query in a trace has its span tree.
+  if (request.lifecycle == nullptr && options_.obs.tracing()) {
+    request.lifecycle = std::make_shared<QueryLifecycle>(
+        options_.obs, request.label, request.session_id);
+  }
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (m_submitted_ != nullptr) m_submitted_->Increment();
-  if (shutdown_)
-    return Status::FailedPrecondition("query scheduler is shut down");
+  if (shutdown_) {
+    Status status = Status::FailedPrecondition("query scheduler is shut down");
+    if (request.lifecycle != nullptr) request.lifecycle->OnRejected(status);
+    return status;
+  }
   if (request.cancel != nullptr) {
     Status token = request.cancel->Check();
     if (!token.ok()) {
       if (m_rejected_deadline_ != nullptr &&
           token.code() == StatusCode::kDeadlineExceeded)
         m_rejected_deadline_->Increment();
+      if (request.lifecycle != nullptr) request.lifecycle->OnRejected(token);
       return token;
     }
   }
@@ -115,10 +125,12 @@ StatusOr<ServeTicket> QueryScheduler::Submit(ServeRequest request) {
     if (m_rejected_queue_full_ != nullptr) m_rejected_queue_full_->Increment();
     EmitResilienceEvent(options_.obs, "serve.reject_queue_full", -1.0,
                         request.session_id);
-    return Status::ResourceExhausted(
+    Status status = Status::ResourceExhausted(
         StrFormat("%s: %d queries waiting (capacity %d)",
                   kAdmissionRejectPrefix, static_cast<int>(queue_.size()),
                   static_cast<int>(options_.max_queue_depth)));
+    if (request.lifecycle != nullptr) request.lifecycle->OnRejected(status);
+    return status;
   }
 
   auto entry = std::make_unique<Entry>();
@@ -127,6 +139,10 @@ StatusOr<ServeTicket> QueryScheduler::Submit(ServeRequest request) {
   entry->state = std::make_shared<ServeTicket::State>();
   entry->state->id = entry->id;
   entry->enqueued = std::chrono::steady_clock::now();
+  if (entry->request.lifecycle != nullptr) {
+    entry->request.lifecycle->OnQueryId(entry->id);
+    entry->request.lifecycle->OnEnqueued();
+  }
   ServeTicket ticket(entry->state);
   queue_.push_back(std::move(entry));
   if (m_admitted_ != nullptr) m_admitted_->Increment();
@@ -219,6 +235,8 @@ void QueryScheduler::CompleteLocked(std::unique_ptr<Entry> entry,
   std::shared_ptr<ServeTicket::State> state = std::move(entry->state);
   std::function<void(const Status&)> on_complete =
       std::move(entry->request.on_complete);
+  std::shared_ptr<QueryLifecycle> lifecycle =
+      std::move(entry->request.lifecycle);
   Status status = result.ok() ? Status::OK() : result.status();
   entry.reset();
 
@@ -228,6 +246,9 @@ void QueryScheduler::CompleteLocked(std::unique_ptr<Entry> entry,
   // side effect (session accounting included) has already happened.
   ++n_completing_;
   lock.unlock();
+  // Close the span tree before waiters are released: a thread returning
+  // from Wait() can immediately inspect the trace / slow-query log.
+  if (lifecycle != nullptr) lifecycle->OnResolved(status);
   if (on_complete) on_complete(status);
   {
     std::lock_guard<std::mutex> ticket_lock(state->mutex);
@@ -411,6 +432,14 @@ void QueryScheduler::DispatcherLoop() {
       io_in_use_ += info.io_rate;
       running_[entry->id] = info;
 
+      grant.query_id = entry->id;
+      grant.io_rate = info.io_rate;
+      grant.queue_wait_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        entry->enqueued)
+              .count();
+      grant.lifecycle = entry->request.lifecycle.get();
+
       served_work_[entry->request.session_id] +=
           est.seq_time / entry->request.weight;
       dispatch_order_.push_back(entry->id);
@@ -421,10 +450,15 @@ void QueryScheduler::DispatcherLoop() {
                             entry->id);
       }
       if (h_queue_wait_ != nullptr)
-        h_queue_wait_->Observe(std::chrono::duration<double>(
-                                   std::chrono::steady_clock::now() -
-                                   entry->enqueued)
-                                   .count());
+        h_queue_wait_->Observe(grant.queue_wait_seconds);
+      if (entry->request.lifecycle != nullptr) {
+        GrantSnapshot snapshot;
+        snapshot.parallelism = grant.parallelism;
+        snapshot.memory_pages = grant.memory_pages;
+        snapshot.io_rate = info.io_rate;
+        snapshot.degraded = grant.degrade_to_spill;
+        entry->request.lifecycle->OnGrant(snapshot);
+      }
       handoff_.emplace_back(std::move(entry), grant);
       PublishGaugesLocked();
       work_cv_.notify_one();
@@ -472,11 +506,15 @@ void QueryScheduler::WorkerLoop() {
     PublishGaugesLocked();
 
     lock.unlock();
+    if (entry->request.lifecycle != nullptr)
+      entry->request.lifecycle->OnExecStart();
     const auto t0 = std::chrono::steady_clock::now();
     StatusOr<SqlResult> result = entry->request.job(grant);
     const double run_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    if (entry->request.lifecycle != nullptr)
+      entry->request.lifecycle->OnExecEnd();
     lock.lock();
 
     --n_executing_;

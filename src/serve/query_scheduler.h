@@ -53,6 +53,7 @@
 
 #include "obs/obs.h"
 #include "resilience/cancellation.h"
+#include "serve/lifecycle.h"
 #include "sched/balance.h"
 #include "sched/machine.h"
 #include "sched/task.h"
@@ -72,6 +73,16 @@ struct ExecGrant {
   /// The query's cancellation token (also reachable by the submitter);
   /// jobs must thread it into their ExecContext.
   CancellationToken* cancel = nullptr;
+  /// Scheduler-assigned query id (matches the ticket's).
+  int64_t query_id = -1;
+  /// Granted aggregate io rate (io/s) charged against the disk budget.
+  double io_rate = 0.0;
+  /// How long the query waited between enqueue and dispatch.
+  double queue_wait_seconds = 0.0;
+  /// The query's lifecycle tracker (null when tracing and the slow-query
+  /// log are both off). Jobs may AttachProfile through it; the scheduler
+  /// keeps it alive until the query resolves.
+  QueryLifecycle* lifecycle = nullptr;
 };
 
 /// The work an admitted query runs on a scheduler worker thread.
@@ -99,6 +110,12 @@ struct ServeRequest {
   /// are released, so completion side effects are visible once Wait()
   /// returns; must not call back into the scheduler.
   std::function<void(const Status&)> on_complete;
+  /// Lifecycle tracker covering work done before submission (the serving
+  /// engine starts it before parse/bind so admission time is attributed).
+  /// When absent and tracing is on, the scheduler creates one at Submit.
+  /// The scheduler drives every later transition and resolves it exactly
+  /// once.
+  std::shared_ptr<QueryLifecycle> lifecycle;
 };
 
 /// Handle on a submitted query. Cheap to copy; all copies share the result

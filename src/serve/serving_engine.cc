@@ -50,6 +50,7 @@ ServingEngine::ServingEngine(Catalog* catalog, const MachineConfig& machine,
     : options_(std::move(options)),
       engine_(catalog, machine, model),
       spill_array_(machine.num_disks, DiskMode::kInstant),
+      slow_log_(options_.slow_query_seconds, options_.slow_query_top_k),
       scheduler_(options_.serve) {
   if (options_.buffer_pool_frames > 0) {
     pool_ = std::make_unique<BufferPool>(catalog->disk_array(),
@@ -99,10 +100,24 @@ size_t ServingEngine::num_open_sessions() const {
 StatusOr<SubmittedQuery> ServingEngine::SubmitQuery(
     ServingSession* session, const std::string& sql,
     const QueryOptions& options) {
+  // The lifecycle starts before parse/bind so its admission span covers
+  // every cycle spent on the query before the scheduler accepts it.
+  std::shared_ptr<QueryLifecycle> lifecycle;
+  if (options_.serve.obs.tracing() || slow_log_.enabled()) {
+    lifecycle = std::make_shared<QueryLifecycle>(
+        options_.serve.obs, sql, session->id(),
+        slow_log_.enabled() ? &slow_log_ : nullptr);
+  }
+
   // Parse, bind and cost synchronously so malformed SQL fails here, not on
   // a worker thread; the estimate drives admission.
-  XPRS_ASSIGN_OR_RETURN(TaskProfile estimate,
-                        engine_.EstimateProfile(sql, options.shape));
+  StatusOr<TaskProfile> estimate_or =
+      engine_.EstimateProfile(sql, options.shape);
+  if (!estimate_or.ok()) {
+    if (lifecycle != nullptr) lifecycle->OnRejected(estimate_or.status());
+    return estimate_or.status();
+  }
+  TaskProfile estimate = std::move(*estimate_or);
   estimate.query_id = session->id();
   if (!session->label_.empty()) estimate.name = session->label_;
 
@@ -117,6 +132,7 @@ StatusOr<SubmittedQuery> ServingEngine::SubmitQuery(
   request.priority = session->priority_;
   request.cancel = token.get();
   request.label = sql.substr(0, 48);
+  request.lifecycle = lifecycle;
 
   session->submitted_.fetch_add(1, std::memory_order_relaxed);
   // The callback holds a strong reference: the caller may drop (or close)
@@ -130,12 +146,14 @@ StatusOr<SubmittedQuery> ServingEngine::SubmitQuery(
   };
 
   // The closure owns the token (keeps it alive past a dropped handle) and
-  // shapes execution around the scheduler's grant.
+  // shapes execution around the scheduler's grant. With the slow-query
+  // log armed, every statement runs through EXPLAIN ANALYZE so an entry
+  // can name the operators the time went to.
   const bool allow_parallel = options.allow_parallel;
   const TreeShape shape = options.shape;
-  request.job = [this, sql, token, shape,
-                 allow_parallel](const ExecGrant& grant)
-      -> StatusOr<SqlResult> {
+  const bool profiled = slow_log_.enabled();
+  request.job = [this, sql, token, shape, allow_parallel, lifecycle,
+                 profiled](const ExecGrant& grant) -> StatusOr<SqlResult> {
     ExecContext ctx;
     ctx.cancel = grant.cancel;
     ctx.obs = options_.serve.obs;
@@ -143,19 +161,26 @@ StatusOr<SubmittedQuery> ServingEngine::SubmitQuery(
       ctx.pool = pool_.get();
       ctx.fetch_retry = &options_.fetch_retry;
     }
+    StatusOr<SqlResult> result = Status::Internal("query never ran");
     if (grant.degrade_to_spill) {
       ctx.spill.temp_array = &spill_array_;
       ctx.spill.memory_tuples = options_.degrade_spill_tuples;
-      return engine_.Execute(sql, ctx, shape);
-    }
-    if (grant.parallelism > 1 && allow_parallel) {
+      result = profiled ? engine_.ExplainAnalyze(sql, ctx, shape)
+                        : engine_.Execute(sql, ctx, shape);
+    } else if (grant.parallelism > 1 && allow_parallel) {
       MasterOptions master = options_.master;
       master.ctx = ctx;
       master.max_slots = grant.parallelism;
       master.obs = options_.serve.obs;
-      return engine_.ExecuteParallel(sql, master, shape);
+      result = profiled ? engine_.ExplainAnalyzeParallel(sql, master, shape)
+                        : engine_.ExecuteParallel(sql, master, shape);
+    } else {
+      result = profiled ? engine_.ExplainAnalyze(sql, ctx, shape)
+                        : engine_.Execute(sql, ctx, shape);
     }
-    return engine_.Execute(sql, ctx, shape);
+    if (lifecycle != nullptr && result.ok() && result->profile != nullptr)
+      lifecycle->AttachProfile(result->profile);
+    return result;
   };
 
   StatusOr<ServeTicket> ticket = scheduler_.Submit(std::move(request));

@@ -135,6 +135,14 @@ class ServingEngine {
     /// Template for parallel-master runs; ctx / max_slots / obs are
     /// overridden per grant.
     MasterOptions master;
+    /// Slow-query threshold (submit to resolve, seconds). When > 0 every
+    /// statement runs with a profile attached and queries over the
+    /// threshold land in slow_query_log() with their grant, phase
+    /// breakdown and slowest operators. 0 disables the log (and the
+    /// profiling overhead).
+    double slow_query_seconds = 0.0;
+    /// How many operators a slow-query entry names.
+    size_t slow_query_top_k = 3;
   };
 
   ServingEngine(Catalog* catalog, const MachineConfig& machine,
@@ -159,6 +167,8 @@ class ServingEngine {
   QueryScheduler& scheduler() { return scheduler_; }
   BufferPool* pool() { return pool_.get(); }
   SqlEngine& sql_engine() { return engine_; }
+  /// Entries recorded for queries over Options::slow_query_seconds.
+  SlowQueryLog& slow_query_log() { return slow_log_; }
 
  private:
   friend class ServingSession;
@@ -172,6 +182,7 @@ class ServingEngine {
   /// Temp files for degraded (spilling) queries.
   DiskArray spill_array_;
   std::unique_ptr<BufferPool> pool_;
+  SlowQueryLog slow_log_;
 
   mutable std::mutex sessions_mutex_;
   int64_t next_session_id_ = 1;

@@ -1,0 +1,165 @@
+#include "workload/macro.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/str.h"
+
+namespace xprs {
+
+namespace {
+
+struct TableSpec {
+  const char* name;
+  uint64_t base_rows;
+  /// Text payload width in bytes; different widths give the tables
+  /// different tuples-per-page and therefore different scan io rates.
+  int text_width;
+};
+
+// TPC-H-ish cardinality ratios at scale 1 (shrunk 1000x so the default
+// bench run stays in the seconds range on one core).
+constexpr TableSpec kTables[] = {
+    {"lineitem", 6000, 48},
+    {"orders", 1500, 32},
+    {"part", 200, 64},
+    {"customer", 150, 96},
+};
+
+int32_t DrawKey(MacroDistribution distribution, int32_t key_range, Rng* rng) {
+  switch (distribution) {
+    case MacroDistribution::kSkewed: {
+      // Power-law: P(key < k) = (k / range)^(1/3); ~50% of the mass lands
+      // on the lowest 12% of the domain, giving joins on low keys real
+      // build-side skew.
+      double u = rng->NextDouble();
+      double k = static_cast<double>(key_range) * u * u * u;
+      return std::min<int32_t>(key_range - 1, static_cast<int32_t>(k));
+    }
+    case MacroDistribution::kUniform:
+    case MacroDistribution::kNullHeavy:
+    default:
+      return static_cast<int32_t>(rng->NextUint64(
+          static_cast<uint64_t>(key_range)));
+  }
+}
+
+Status BuildTable(Catalog* catalog, const TableSpec& spec,
+                  const MacroWorkloadOptions& options, Rng* rng) {
+  XPRS_ASSIGN_OR_RETURN(
+      Table * table, catalog->CreateTable(spec.name, Schema::PaperSchema()));
+  const uint64_t rows = MacroTableRows(spec.name, options.scale);
+  for (uint64_t i = 0; i < rows; ++i) {
+    Value key(DrawKey(options.distribution, options.key_range, rng));
+    if (options.distribution == MacroDistribution::kNullHeavy &&
+        rng->NextBool(0.25))
+      key = Value(std::monostate{});
+    // Distinct-ish payloads (not one repeated byte) so correctness
+    // checksums actually depend on the row contents.
+    std::string text =
+        StrFormat("%s-%06llu", spec.name,
+                  static_cast<unsigned long long>(i % 9973));
+    if (static_cast<int>(text.size()) < spec.text_width)
+      text.resize(static_cast<size_t>(spec.text_width), 'x');
+    XPRS_RETURN_IF_ERROR(
+        table->file().Append(Tuple({std::move(key), Value(std::move(text))})));
+  }
+  XPRS_RETURN_IF_ERROR(table->file().Flush());
+  XPRS_RETURN_IF_ERROR(table->BuildIndex(0));
+  XPRS_RETURN_IF_ERROR(table->ComputeStats());
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* MacroDistributionName(MacroDistribution d) {
+  switch (d) {
+    case MacroDistribution::kUniform:
+      return "uniform";
+    case MacroDistribution::kSkewed:
+      return "skewed";
+    case MacroDistribution::kNullHeavy:
+      return "null-heavy";
+  }
+  return "uniform";
+}
+
+StatusOr<MacroDistribution> ParseMacroDistribution(const std::string& name) {
+  if (name == "uniform") return MacroDistribution::kUniform;
+  if (name == "skewed") return MacroDistribution::kSkewed;
+  if (name == "null-heavy" || name == "null_heavy")
+    return MacroDistribution::kNullHeavy;
+  return Status::InvalidArgument(
+      StrFormat("unknown distribution '%s' (uniform | skewed | null-heavy)",
+                name.c_str()));
+}
+
+uint64_t MacroTableRows(const std::string& name, double scale) {
+  for (const TableSpec& spec : kTables) {
+    if (name == spec.name) {
+      double rows = static_cast<double>(spec.base_rows) * std::max(scale, 0.0);
+      return std::max<uint64_t>(1, static_cast<uint64_t>(rows));
+    }
+  }
+  return 0;
+}
+
+Status BuildMacroTables(Catalog* catalog,
+                        const MacroWorkloadOptions& options) {
+  if (catalog == nullptr)
+    return Status::InvalidArgument("macro workload needs a catalog");
+  if (options.key_range < 1)
+    return Status::InvalidArgument("key_range must be >= 1");
+  Rng rng(options.seed);
+  for (const TableSpec& spec : kTables) {
+    // Independent stream per table: a scale change in one table does not
+    // reshuffle the others.
+    Rng table_rng = rng.Fork();
+    XPRS_RETURN_IF_ERROR(BuildTable(catalog, spec, options, &table_rng));
+  }
+  return Status::OK();
+}
+
+const std::vector<MacroQuery>& MacroQueryMix() {
+  // Constants assume key_range = 100. Names nod to the TPC-H queries the
+  // shapes are borrowed from; the dialect (selection / equi-join /
+  // aggregate / single GROUP BY) is the limit of the SQL front end.
+  static const std::vector<MacroQuery> mix = {
+      // --- scan-heavy: full scans, wide ranges, joins, group-bys ---
+      {"q1_lineitem_sum", "SELECT sum(a) FROM lineitem WHERE a BETWEEN 0 AND 90",
+       false},
+      {"q13_orders_by_key", "SELECT count(a) FROM orders GROUP BY a",
+       false},
+      {"q3_orders_customer",
+       "SELECT o.a, c.b FROM orders o, customer c "
+       "WHERE o.a = c.a AND c.a < 40",
+       false},
+      {"q6_lineitem_count", "SELECT count(a) FROM lineitem WHERE a >= 10",
+       false},
+      {"q14_lineitem_part",
+       "SELECT sum(l.a) FROM lineitem l, part p WHERE l.a = p.a AND p.a < 50",
+       false},
+      // --- index-friendly: narrow ranges / point lookups ---
+      {"q6s_lineitem_band",
+       "SELECT * FROM lineitem WHERE a BETWEEN 10 AND 14", true},
+      {"q_customer_point", "SELECT * FROM customer WHERE a = 7", true},
+      {"q_orders_band_min",
+       "SELECT min(a) FROM orders WHERE a BETWEEN 3 AND 9", true},
+      {"q_part_band", "SELECT b FROM part WHERE a BETWEEN 60 AND 64", true},
+  };
+  return mix;
+}
+
+StatusOr<std::vector<MacroQuery>> MacroMix(const std::string& mix) {
+  const std::vector<MacroQuery>& all = MacroQueryMix();
+  if (mix == "all") return all;
+  if (mix != "scan_heavy" && mix != "index_friendly")
+    return Status::InvalidArgument(StrFormat(
+        "unknown mix '%s' (scan_heavy | index_friendly | all)", mix.c_str()));
+  std::vector<MacroQuery> out;
+  for (const MacroQuery& q : all)
+    if (q.index_friendly == (mix == "index_friendly")) out.push_back(q);
+  return out;
+}
+
+}  // namespace xprs

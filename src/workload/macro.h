@@ -1,0 +1,70 @@
+// TPC-H-flavored macro workload over the paper schema: four relations at
+// TPC-H-ish cardinality ratios (lineitem : orders : part : customer =
+// 40 : 10 : 1.3 : 1) with a scale-factor knob, key-distribution variants
+// (uniform, skewed, NULL-heavy), and a fixed query mix split into a
+// scan-heavy half (full scans, aggregates, joins) and an index-friendly
+// half (narrow ranges an unclustered index scan can serve).
+//
+// Everything is deterministic for a given (scale, distribution, seed), so
+// bench_macro's correctness checksums are stable across machines and the
+// committed perf baselines compare like against like.
+
+#ifndef XPRS_WORKLOAD_MACRO_H_
+#define XPRS_WORKLOAD_MACRO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace xprs {
+
+/// Key distribution of the generated relations.
+enum class MacroDistribution {
+  kUniform,    ///< keys uniform over [0, key_range)
+  kSkewed,     ///< power-law: mass concentrated on low keys (join skew)
+  kNullHeavy,  ///< uniform with 25% NULL keys (NULL join/agg paths)
+};
+
+const char* MacroDistributionName(MacroDistribution d);
+/// Parses "uniform" / "skewed" / "null-heavy".
+StatusOr<MacroDistribution> ParseMacroDistribution(const std::string& name);
+
+struct MacroWorkloadOptions {
+  /// Scale factor: row counts are base cardinality x scale (min 1 row).
+  double scale = 1.0;
+  MacroDistribution distribution = MacroDistribution::kUniform;
+  /// Key domain [0, key_range); the query mix's constants assume 100.
+  int32_t key_range = 100;
+  uint64_t seed = 0x3A5C0DE;
+};
+
+/// Row count of one macro table at `scale` (name must be one of lineitem,
+/// orders, part, customer).
+uint64_t MacroTableRows(const std::string& name, double scale);
+
+/// Creates and loads lineitem / orders / part / customer into `catalog`
+/// (unclustered index on key + stats, like every workload relation).
+Status BuildMacroTables(Catalog* catalog, const MacroWorkloadOptions& options);
+
+/// One query of the mix.
+struct MacroQuery {
+  std::string name;
+  std::string sql;
+  /// True when the predicate is selective enough for an index scan; the
+  /// scan-heavy mix is the complement.
+  bool index_friendly = false;
+};
+
+/// The full ordered mix (scan-heavy queries first).
+const std::vector<MacroQuery>& MacroQueryMix();
+
+/// "scan_heavy", "index_friendly" or "all".
+StatusOr<std::vector<MacroQuery>> MacroMix(const std::string& mix);
+
+}  // namespace xprs
+
+#endif  // XPRS_WORKLOAD_MACRO_H_

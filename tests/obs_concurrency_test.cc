@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace xprs {
@@ -82,6 +85,87 @@ TEST(ObsConcurrencyTest, MemoryTraceRecorderUnderContention) {
   EXPECT_EQ(recorder.size(),
             static_cast<size_t>(kThreads) * kOpsPerThread / 2);
   EXPECT_GT(recorder.dropped(), 0u);
+}
+
+TEST(ObsConcurrencyTest, HistogramSnapshotIsInternallyConsistent) {
+  // Regression: DumpJson used to read count/sum/buckets/percentiles in
+  // separate locked reads, so a snapshot taken mid-flight could report a
+  // count that disagreed with its own bucket totals. Snapshot() must copy
+  // everything under one lock: count == sum(buckets) in every observation.
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("snap.latency", {0.001, 0.01, 0.1});
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistent{0};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([h, &stop] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i)
+        h->Observe(static_cast<double>(i % 23) * 0.005);
+    });
+  }
+  std::thread reader([h, &stop, &inconsistent] {
+    for (int i = 0; i < 2000; ++i) {
+      HistogramSnapshot snap = h->Snapshot();
+      uint64_t bucket_total = 0;
+      for (uint64_t b : snap.buckets) bucket_total += b;
+      if (snap.count != bucket_total) inconsistent.fetch_add(1);
+      if (snap.count > 0 && (snap.min > snap.max ||
+                             snap.sum < snap.count * snap.min - 1e-9 ||
+                             snap.sum > snap.count * snap.max + 1e-9))
+        inconsistent.fetch_add(1);
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  reader.join();
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(inconsistent.load(), 0);
+}
+
+TEST(ObsConcurrencyTest, ConcurrentSpanEmittersProduceValidTrees) {
+  // Spans ended from concurrent threads: every emitted event must carry a
+  // unique nonzero span_id, a monotonic extent (dur >= 0, start stamped
+  // no later than end), and child events must reference their parent.
+  MemoryTraceRecorder recorder;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < 200; ++i) {
+        Span root(&recorder, "query", "serve", t);
+        Span child(&recorder, "execute", "serve", t, root.id());
+        child.End();
+        root.EndAt(SpanNowSeconds());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<TraceEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads) * 400);
+  std::set<int64_t> ids;
+  std::set<int64_t> roots;
+  for (const TraceEvent& e : events) {
+    ASSERT_EQ(e.phase, 'X');
+    EXPECT_GE(e.duration, 0.0);
+    EXPECT_GT(e.timestamp, 0.0);
+    const TraceValue* id = nullptr;
+    for (const auto& [k, v] : e.args)
+      if (k == "span_id") id = &v;
+    ASSERT_NE(id, nullptr);
+    EXPECT_NE(static_cast<int64_t>(id->num), 0);
+    EXPECT_TRUE(ids.insert(static_cast<int64_t>(id->num)).second)
+        << "duplicate span id " << id->num;
+    if (e.name == "query") roots.insert(static_cast<int64_t>(id->num));
+  }
+  for (const TraceEvent& e : events) {
+    if (e.name != "execute") continue;
+    const TraceValue* parent = nullptr;
+    for (const auto& [k, v] : e.args)
+      if (k == "parent") parent = &v;
+    ASSERT_NE(parent, nullptr);
+    EXPECT_TRUE(roots.count(static_cast<int64_t>(parent->num)))
+        << "child references unknown parent " << parent->num;
+  }
 }
 
 }  // namespace

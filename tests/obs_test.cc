@@ -7,6 +7,7 @@
 
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/obs.h"
@@ -307,6 +308,105 @@ TEST(MetricsTest, DiskArrayPerDiskCountersAndInterference) {
               timings.rand_read - timings.seq_read, 1e-12);
   array.PublishMetrics();
   EXPECT_GT(reg.gauge("disk.total_interference_seconds")->value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+double g_span_clock = 0.0;
+double SpanTestClock() { return g_span_clock; }
+
+// Scripted clock + dense ids for byte-stable span exports.
+class SpanGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_span_clock = 0.0;
+    SetSpanClockForTest(&SpanTestClock);
+    ResetSpanIdsForTest();
+  }
+  void TearDown() override { SetSpanClockForTest(nullptr); }
+};
+
+TEST_F(SpanGoldenTest, NestedSpansExportGolden) {
+  MemoryTraceRecorder rec;
+  g_span_clock = 1.0;
+  Span root(&rec, "query", "serve", 42);
+  root.AddArg("query", "SELECT a FROM t");
+  EXPECT_EQ(root.id(), 1u);
+
+  g_span_clock = 1.25;
+  Span child(&rec, "execute", "serve", 42, root.id());
+  EXPECT_EQ(child.id(), 2u);
+  child.EndAt(1.75);
+  root.EndAt(2.0);
+
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"query\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":1000000,"
+      "\"dur\":1000000,\"pid\":1,\"tid\":42,"
+      "\"args\":{\"query\":\"SELECT a FROM t\",\"span_id\":1}},\n"
+      "{\"name\":\"execute\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":1250000,"
+      "\"dur\":500000,\"pid\":1,\"tid\":42,"
+      "\"args\":{\"span_id\":2,\"parent\":1}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(ChromeTraceJson(rec.snapshot()), expected);
+  EXPECT_TRUE(JsonChecker(ChromeTraceJson(rec.snapshot())).Valid());
+}
+
+TEST_F(SpanGoldenTest, QueryTextIsJsonEscapedInArgs) {
+  MemoryTraceRecorder rec;
+  {
+    Span span(&rec, "query", "serve", 0);
+    span.AddArg("query", "SELECT b FROM t WHERE b = 'x\"y'\n\tAND a < \\3");
+  }
+  std::string json = ChromeTraceJson(rec.snapshot());
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  EXPECT_NE(json.find("'x\\\"y'\\n\\tAND a < \\\\3"), std::string::npos);
+}
+
+TEST_F(SpanGoldenTest, SetStartRebasesAndEndIsIdempotent) {
+  MemoryTraceRecorder rec;
+  g_span_clock = 5.0;
+  Span span(&rec, "drain", "serve", 0);
+  span.set_start(4.0);  // abut the previous phase's boundary
+  EXPECT_DOUBLE_EQ(span.start_seconds(), 4.0);
+  span.EndAt(6.0);
+  span.End();    // idempotent: no second event
+  span.End();
+  auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].timestamp, 4.0);
+  EXPECT_DOUBLE_EQ(events[0].duration, 2.0);
+}
+
+TEST(SpanTest, InertWithoutSinkAndDestructorCloses) {
+  Span inert(nullptr, "n", "c", 0);
+  EXPECT_EQ(inert.id(), 0u);
+  EXPECT_FALSE(inert.active());
+  inert.AddArg("k", 1);  // all no-ops
+  inert.End();
+
+  MemoryTraceRecorder rec;
+  {
+    ScopedSpan scoped(&rec, "scoped", "test", 3);
+    EXPECT_NE(scoped.id(), 0u);
+  }  // destructor ends it
+  auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "scoped");
+  EXPECT_EQ(events[0].phase, 'X');
+}
+
+TEST(SpanTest, MoveTransfersTheSpanAndEmitsOnce) {
+  MemoryTraceRecorder rec;
+  Span a(&rec, "moved", "test", 0);
+  uint64_t id = a.id();
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_EQ(b.id(), id);
+  b.End();
+  a.End();  // moved-from: no event
+  EXPECT_EQ(rec.size(), 1u);
 }
 
 }  // namespace

@@ -189,7 +189,11 @@ LoopResult RunOpenLoop(Catalog* catalog, const CostModel* model, double qps,
     };
     auto submitted = session->Submit(mix[n % mix.size()], options);
     if (!submitted.ok()) {
-      if (QueryScheduler::IsAdmissionReject(submitted.status()))
+      // Queue-full rejects and overload-controller sheds are both the
+      // admission layer deliberately dropping offered load — report them
+      // as shed work, not failures.
+      if (QueryScheduler::IsAdmissionReject(submitted.status()) ||
+          OverloadController::IsOverloadShed(submitted.status()))
         ++result.rejected;
       else
         failed.fetch_add(1);

@@ -1,7 +1,7 @@
 // Long-running differential stress driver.
 //
 //   stress_differential [--seed=N] [--iters=N] [--fault-rate=P] [--chaos]
-//                       [--timeout-ms=N]
+//                       [--timeout-ms=N] [--replay-out=FILE]
 //
 // Each iteration builds a fresh random workload, generates a batch of
 // queries and pushes every one through the full differential oracle
@@ -21,6 +21,11 @@
 // The effective seed is printed on startup; any failure is replayable with
 // `stress_differential --seed=<printed seed>` (or XPRS_SEED=<seed> when
 // --seed was not given explicitly).
+//
+// --replay-out=FILE additionally persists a one-line replay record (seed,
+// iteration, query, failing check) on the first divergence, so a CI run
+// that trips leaves a machine-readable repro behind even when its logs
+// scroll away.
 
 #include <chrono>
 #include <cinttypes>
@@ -109,6 +114,25 @@ class Watchdog {
   std::chrono::steady_clock::time_point last_beat_;
 };
 
+// Persists the replay line for the first divergence. `check` names which
+// oracle check tripped (plan, chaos, fault-surfacing, random-faults,
+// io-conservation).
+void WriteReplayRecord(const std::string& path, uint64_t seed, int iter,
+                       int query, const char* check,
+                       const xprs::Status& status) {
+  if (path.empty()) return;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write replay record %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "--seed=%" PRIu64 " iter=%d query=%d check=%s status=%s\n",
+               seed, iter, query, check, status.ToString().c_str());
+  std::fclose(f);
+  std::fprintf(stderr, "replay record written to %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,6 +142,7 @@ int main(int argc, char** argv) {
   int queries_per_iter = 4;
   bool chaos = false;
   int timeout_ms = 0;
+  std::string replay_out;
 
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
@@ -129,12 +154,14 @@ int main(int argc, char** argv) {
       fault_rate = std::atof(value);
     } else if (ParseFlag(argv[i], "--timeout-ms", &value)) {
       timeout_ms = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--replay-out", &value)) {
+      replay_out = value;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed=N] [--iters=N] [--fault-rate=P] "
-                   "[--chaos] [--timeout-ms=N]\n",
+                   "[--chaos] [--timeout-ms=N] [--replay-out=FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -174,16 +201,26 @@ int main(int argc, char** argv) {
     for (int q = 0; q < queries_per_iter; ++q) {
       watchdog.Beat(iter, q);
       std::unique_ptr<xprs::PlanNode> plan = gen.NextPlan();
+      const char* check = "plan";
       xprs::Status status = oracle.CheckPlan(*plan);
-      if (status.ok() && chaos) status = oracle.CheckPlanChaos(*plan);
-      if (status.ok() && q == 0) status = oracle.CheckFaultSurfacing(*plan);
-      if (status.ok() && q == 1)
+      if (status.ok() && chaos) {
+        check = "chaos";
+        status = oracle.CheckPlanChaos(*plan);
+      }
+      if (status.ok() && q == 0) {
+        check = "fault-surfacing";
+        status = oracle.CheckFaultSurfacing(*plan);
+      }
+      if (status.ok() && q == 1) {
+        check = "random-faults";
         status = oracle.CheckRandomReadFaults(*plan, fault_rate);
+      }
       if (!status.ok()) {
         std::fprintf(stderr,
-                     "iter %d query %d FAILED (replay with --seed=%" PRIu64
-                     "):\n%s\n",
-                     iter, q, seed, status.ToString().c_str());
+                     "iter %d query %d FAILED %s (replay with "
+                     "--seed=%" PRIu64 "):\n%s\n",
+                     iter, q, check, seed, status.ToString().c_str());
+        WriteReplayRecord(replay_out, seed, iter, q, check, status);
         return 1;
       }
       ++queries_checked;
@@ -195,6 +232,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "iter %d io conservation FAILED (--seed=%" PRIu64
                            "):\n%s\n",
                    iter, seed, conservation.ToString().c_str());
+      WriteReplayRecord(replay_out, seed, iter, queries_per_iter,
+                        "io-conservation", conservation);
       return 1;
     }
     if ((iter + 1) % 25 == 0) {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: build + run the tier1 test suite in the default config,
-# then rebuild under AddressSanitizer + UndefinedBehaviorSanitizer and run
-# everything — tier1 plus the slow randomized harnesses (the differential
-# stress driver) — then rebuild once more under ThreadSanitizer and run the
+# gate the benchmark artifacts (vectorized, serving, macro, chaos soak)
+# against their schemas and committed baselines, then rebuild under
+# AddressSanitizer + UndefinedBehaviorSanitizer and run everything — tier1
+# plus the slow randomized harnesses (the differential stress driver) —
+# then rebuild once more under ThreadSanitizer and run the
 # concurrency-heavy subset plus a fixed-seed chaos smoke. The sanitizer
 # passes exist to catch the class of bugs this repo has been bitten by
 # before: out-of-range std::clamp (UB), data races on metric counters, and
@@ -18,12 +20,12 @@ JOBS="${1:-4}"
 # after the full build is a build artifact escaping the gitignored trees.
 STATUS_BEFORE="$(git status --porcelain)"
 
-echo "==> [1/9] default config (tier1)"
+echo "==> [1/10] default config (tier1)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "${JOBS}"
 ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [2/9] profile/trace schema validation"
+echo "==> [2/10] profile/trace schema validation"
 # One profiled bench run, then structural validation of every emitted JSON
 # artifact: the Chrome trace, the metrics snapshot (p50/p95/p99 present on
 # histograms), and the QueryProfile document. Guards the contract consumed
@@ -73,7 +75,7 @@ print(f"profile schema ok: {len(profile['operators'])} operators, "
       f"{len(trace['traceEvents'])} trace events")
 PYEOF
 
-echo "==> [3/9] vectorized executor throughput gate"
+echo "==> [3/10] vectorized executor throughput gate"
 # Tuple vs batch engine on CPU-bound workloads (kInstant disk). The batch
 # path's whole point is amortizing per-tuple costs, so the gate fails if
 # the scan+filter or hash-join speedup drops below 2x. Results land in
@@ -98,7 +100,7 @@ print("vectorized speedups ok: " + ", ".join(
     f"{w['name']}={w['speedup']:.2f}x" for w in bench["workloads"]))
 PYEOF
 
-echo "==> [4/9] concurrent serving smoke"
+echo "==> [4/10] concurrent serving smoke"
 # Closed- and open-loop serving run through ServingEngine/QueryScheduler.
 # Schema-validates BENCH_serve.json and gates on the two properties the
 # serving layer exists for: the scheduler actually overlapped >= 2 queries
@@ -139,14 +141,14 @@ print(f"serving ok: peak_running={bench['peak_running']}, "
       f"{len(bench['open_loop'])} open loop points")
 PYEOF
 
-echo "==> [5/9] macro benchmark + perf trajectory gates"
+echo "==> [5/10] macro benchmark + perf trajectory gates"
 # The standing TPC-H-flavored macro benchmark: every engine mode over one
 # workload, with cross-mode checksums, per-query lifecycle span breakdowns
 # and the tracing-overhead measurement. Gates, in order: artifact schema,
 # cross-mode correctness, served span coverage (the lifecycle children
 # must tile each root span), the tracing-disabled overhead budget, and the
 # perf trajectory against the committed baselines (bench/baselines/) for
-# both the macro and the vectorized-executor artifacts.
+# the macro, vectorized-executor and serving artifacts.
 ./build/bench/bench_macro --scale=4 --reps=5 --slow-ms=5 \
   --out=build/BENCH_macro.json
 python3 - build/BENCH_macro.json <<'PYEOF'
@@ -193,8 +195,60 @@ python3 scripts/perf_compare.py build/BENCH_macro.json \
   bench/baselines/BENCH_macro.json --threshold=0.15
 python3 scripts/perf_compare.py build/BENCH_exec.json \
   bench/baselines/BENCH_exec.json --threshold=0.15
+python3 scripts/perf_compare.py build/BENCH_serve.json \
+  bench/baselines/BENCH_serve.json --threshold=0.15
 
-echo "==> [6/9] asan+ubsan config (tier1 + slow)"
+echo "==> [6/10] chaos soak (overload/recovery gates)"
+# Standing fault-storm soak: a poison drill plus a ramp/peak/recover fault
+# schedule against the full serving stack. The binary self-gates (exit 1)
+# on oracle diffs, leaked pins/sessions, a missing shedding episode or a
+# failed recovery; this block re-validates the artifact schema and the
+# headline gates so a silent change to the binary's own gating still trips
+# CI.
+./build/bench/bench_soak --rows=3000 --duration-s=5 --clients=4 \
+  --out=build/BENCH_soak.json
+python3 - build/BENCH_soak.json <<'PYEOF'
+import json, sys
+
+soak = json.load(open(sys.argv[1]))
+for key in ("seed", "duration_s", "clients", "peak_fault_rate",
+            "faults_injected", "submitted", "completed", "failed", "shed",
+            "diffs", "leaked_pins", "leaked_sessions", "overload",
+            "breakers", "poison", "phases"):
+    assert key in soak, f"bench_soak: missing {key}"
+ov = soak["overload"]
+for key in ("reached_degraded", "reached_shedding", "recovered",
+            "final_state", "sheds", "transitions"):
+    assert key in ov, f"bench_soak: overload missing {key}"
+for t in ov["transitions"]:
+    for key in ("t_s", "from", "to", "reason"):
+        assert key in t, f"bench_soak: transition missing {key}"
+for domain in ("storage_read", "spill_io"):
+    assert domain in soak["breakers"], f"bench_soak: breakers.{domain}"
+for key in ("quarantined", "fast_reject", "entries"):
+    assert key in soak["poison"], f"bench_soak: poison.{key}"
+for p in soak["phases"]:
+    for key in ("name", "seconds", "submitted", "completed", "failed",
+                "shed", "p99_ms"):
+        assert key in p, f"bench_soak: phase missing {key}"
+
+assert soak["diffs"] == 0, f"bench_soak: {soak['diffs']} oracle diffs"
+assert soak["leaked_pins"] == 0, \
+    f"bench_soak: {soak['leaked_pins']} leaked buffer pins"
+assert soak["leaked_sessions"] == 0, \
+    f"bench_soak: {soak['leaked_sessions']} leaked sessions"
+assert ov["reached_shedding"], "bench_soak: storm never drove shedding"
+assert ov["recovered"], \
+    f"bench_soak: did not recover (final state {ov['final_state']})"
+assert soak["poison"]["quarantined"] > 0, "bench_soak: nothing quarantined"
+assert soak["poison"]["fast_reject"] > 0, \
+    "bench_soak: quarantined query was not fast-rejected"
+print(f"soak ok: {soak['completed']}/{soak['submitted']} completed, "
+      f"{soak['shed']} shed, {len(ov['transitions'])} transitions, "
+      f"final={ov['final_state']}, 0 diffs / 0 leaks")
+PYEOF
+
+echo "==> [7/10] asan+ubsan config (tier1 + slow)"
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
@@ -206,7 +260,7 @@ cmake --build build-asan -j "${JOBS}"
 ASAN_OPTIONS=abort_on_error=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "==> [7/9] tsan config (concurrency subset)"
+echo "==> [8/10] tsan config (concurrency subset)"
 # ThreadSanitizer catches the races the resilience layer is most exposed
 # to: the cancellation token, the done-queue control loop, the retry
 # ladder re-launching fragment runs, buffer-pool admission counters, and
@@ -217,20 +271,29 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
 cmake --build build-tsan -j "${JOBS}"
 TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan \
-  -R '(fault|resilience|parallel|master|throttle|obs|obs_concurrency|spill|serve|lifecycle)_test' \
+  -R '(fault|resilience|parallel|master|throttle|obs|obs_concurrency|spill|serve|lifecycle|overload)_test' \
   --output-on-failure -j "${JOBS}"
 
-echo "==> [8/9] fixed-seed chaos smoke (tier1-gated)"
+echo "==> [9/10] fixed-seed chaos smoke (tier1-gated)"
 # Runs only once the tier1 + sanitizer stages above are green. Every mode
 # executes under a 2% read-fault injector and must recover or fail
-# retryably; the fixed seed keeps the pass reproducible, and the watchdog
-# turns any hang into a replayable failure.
+# retryably; the fixed seed keeps the pass reproducible, the watchdog
+# turns any hang into a replayable failure, and --replay-out leaves a
+# one-line machine-readable repro behind if a divergence trips after the
+# logs scroll away.
 ./build/bench/stress_differential --seed=20260807 --iters=10 --chaos \
-  --fault-rate=0.02 --timeout-ms=120000
+  --fault-rate=0.02 --timeout-ms=120000 --replay-out=build/stress_replay.txt
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/stress_differential \
-  --seed=20260807 --iters=3 --chaos --fault-rate=0.02 --timeout-ms=300000
+  --seed=20260807 --iters=3 --chaos --fault-rate=0.02 --timeout-ms=300000 \
+  --replay-out=build-tsan/stress_replay.txt
+# A short soak under tsan: shedding is not required (tsan's slowdown skews
+# the fault schedule) — this run exists to race the overload controller,
+# breakers and preemption machinery under a real storm.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_soak --rows=1500 \
+  --duration-s=2 --clients=4 --require-shedding=0 \
+  --out=build-tsan/BENCH_soak.json
 
-echo "==> [9/9] artifact hygiene"
+echo "==> [10/10] artifact hygiene"
 # Build trees, object files and trace/metric dumps are gitignored; a full
 # build + test cycle must not add anything to git status. New entries are
 # build artifacts escaping into the source tree — fail loudly.

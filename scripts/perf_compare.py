@@ -4,13 +4,16 @@
 Usage:
   perf_compare.py FRESH.json BASELINE.json [--threshold=0.15]
 
-Handles both standing artifacts:
+Handles the standing artifacts:
   - BENCH_macro.json (bench_macro): gates per-mode speedup_vs_serial,
     cross-mode correctness diffs and the workload checksums.
   - BENCH_exec.json (bench_exec): gates per-workload vectorized speedup.
+  - BENCH_serve.json (bench_serve): gates concurrent-vs-oracle diffs and
+    peak concurrency exactly, plus the closed-loop throughput *scaling*
+    ratio (K clients vs 1 client on the same box) against the baseline's.
 
-The artifact kind is auto-detected from its top-level keys ("modes" vs
-"workloads"), so ci.sh calls one script for both.
+The artifact kind is auto-detected from its top-level keys ("modes" /
+"workloads" / "closed_loop"), so ci.sh calls one script for all.
 
 Gating philosophy: CI machines differ wildly in absolute throughput, so
 absolute numbers (rows/s, qps, latency) are reported but never gated.
@@ -154,6 +157,72 @@ def compare_exec(fresh, base, threshold):
     return failures
 
 
+def compare_serve(fresh, base, threshold):
+    failures = []
+
+    # Correctness and liveness are exact gates: concurrent execution must
+    # match the serial oracle, nothing may fail outright, and the scheduler
+    # must actually have overlapped queries.
+    diffs = fresh.get("correctness", {}).get("diffs", -1)
+    if diffs != 0:
+        failures.append(f"correctness: {diffs} concurrent-vs-oracle diffs")
+    if fresh.get("peak_running", 0) < 2:
+        failures.append(
+            f"peak_running {fresh.get('peak_running')} < 2: serving never "
+            "overlapped two queries")
+    for loop in ("closed_loop", "open_loop"):
+        failed = sum(p.get("failed", 0) for p in fresh.get(loop, []))
+        if failed != 0:
+            failures.append(f"{loop}: {failed} queries failed outright")
+
+    # Absolute qps is machine-bound; the portable ratio is how throughput
+    # scales with client count relative to the same box's 1-client point.
+    def scaling(points):
+        by_clients = {p["clients"]: p["throughput_qps"]
+                      for p in points if p.get("clients")}
+        one = by_clients.get(1)
+        if not one:
+            return {}
+        return {k: v / one for k, v in by_clients.items() if k != 1}
+
+    fresh_s = scaling(fresh.get("closed_loop", []))
+    base_s = scaling(base.get("closed_loop", []))
+    print(f"{'clients':<8} {'scaling(base)':>13} {'scaling(new)':>13} "
+          f"{'delta':>8}")
+    regressed = []
+    comparable = 0
+    for clients in sorted(base_s):
+        if clients not in fresh_s:
+            failures.append(
+                f"closed-loop point for {clients} clients disappeared")
+            continue
+        comparable += 1
+        ratio = fresh_s[clients] / base_s[clients] if base_s[clients] > 0 \
+            else 1.0
+        print(f"{clients:<8} {base_s[clients]:>12.3f}x "
+              f"{fresh_s[clients]:>12.3f}x {fmt_pct(ratio):>8}")
+        if (base_s[clients] > 0 and ratio < 1.0 - threshold
+                and base_s[clients] - fresh_s[clients] > NOISE_FLOOR):
+            regressed.append(
+                f"closed-loop scaling at {clients} clients regressed "
+                f"{fmt_pct(ratio)}: {base_s[clients]:.3f}x -> "
+                f"{fresh_s[clients]:.3f}x (threshold {threshold:.0%})")
+    # Single-point scaling wobbles with scheduler jitter on loaded CI
+    # boxes; a real serialization regression (a new global lock, a convoy)
+    # drags down every multi-client point at once, so only an
+    # across-the-board collapse is gated.
+    if comparable > 0 and len(regressed) == comparable:
+        failures.extend(regressed)
+    elif regressed:
+        for r in regressed:
+            print(f"  note (not gated, other points held): {r}")
+    for p in fresh.get("open_loop", []):
+        print(f"open loop {p.get('offered_qps', 0):>7.0f} q/s offered: "
+              f"{p.get('throughput_qps', 0):>7.1f} done, "
+              f"{p.get('rejected', 0)} rejected (reported, not gated)")
+    return failures
+
+
 def main(argv):
     threshold = 0.15
     paths = []
@@ -167,20 +236,27 @@ def main(argv):
         return 1
     fresh, base = load(paths[0]), load(paths[1])
 
-    if ("modes" in fresh) != ("modes" in base):
+    def kind_of(artifact):
+        for key, kind in (("modes", "macro"), ("workloads", "exec"),
+                          ("closed_loop", "serve")):
+            if key in artifact:
+                return kind
+        return None
+
+    kind = kind_of(fresh)
+    if kind != kind_of(base):
         print("perf_compare: artifact kinds differ between fresh and "
               "baseline", file=sys.stderr)
         return 1
-
-    if "modes" in fresh:
-        kind = "macro"
+    if kind == "macro":
         failures = compare_macro(fresh, base, threshold)
-    elif "workloads" in fresh:
-        kind = "exec"
+    elif kind == "exec":
         failures = compare_exec(fresh, base, threshold)
+    elif kind == "serve":
+        failures = compare_serve(fresh, base, threshold)
     else:
-        print("perf_compare: unrecognized artifact (no 'modes' or "
-              "'workloads' key)", file=sys.stderr)
+        print("perf_compare: unrecognized artifact (no 'modes', "
+              "'workloads' or 'closed_loop' key)", file=sys.stderr)
         return 1
 
     if failures:

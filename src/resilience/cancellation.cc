@@ -9,7 +9,41 @@ int64_t CancellationToken::NowNs() {
 }
 
 void CancellationToken::Cancel(std::string reason) {
-  Latch(StatusCode::kCancelled, std::move(reason));
+  std::lock_guard<std::mutex> lock(mutex_);
+  hard_cancel_ = true;
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    // Upgrade a soft preemption latch in place: the user cancel's reason
+    // is what the query should surface.
+    if (preempted_) {
+      code_ = StatusCode::kCancelled;
+      reason_ = std::move(reason);
+    }
+    return;
+  }
+  code_ = StatusCode::kCancelled;
+  reason_ = std::move(reason);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+bool CancellationToken::Preempt(std::string reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cancelled_.load(std::memory_order_relaxed)) return false;
+  preempted_ = true;
+  code_ = StatusCode::kCancelled;
+  reason_ = std::move(reason);
+  cancelled_.store(true, std::memory_order_release);
+  return true;
+}
+
+bool CancellationToken::ResetPreempted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!preempted_) return false;
+  preempted_ = false;
+  if (hard_cancel_) return false;  // a real Cancel raced in: it wins
+  code_ = StatusCode::kCancelled;
+  reason_.clear();
+  cancelled_.store(false, std::memory_order_release);
+  return true;
 }
 
 void CancellationToken::SetDeadlineAfterMs(int64_t ms) {

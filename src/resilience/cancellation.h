@@ -40,7 +40,22 @@ class CancellationToken {
 
   /// Moves the token to the cancelled state (idempotent; the first caller
   /// wins the reason). Wakes nobody — execution notices at the next poll.
+  /// A Cancel is "hard": it survives a later ResetPreempted, so a user
+  /// cancellation that races a scheduler preemption always wins.
   void Cancel(std::string reason = "query cancelled");
+
+  /// Scheduler-side preemption: latches the cancelled state like Cancel so
+  /// the query unwinds cooperatively (pins released through RAII), but
+  /// marks the latch as preemption so ResetPreempted can re-arm the token
+  /// for a re-run. Returns false (and does nothing) when the token is
+  /// already terminal.
+  bool Preempt(std::string reason = "preempted for memory reclaim");
+
+  /// Re-arms a token latched by Preempt. Returns true when the token is
+  /// live again (the query may be re-queued); false when it was never
+  /// preempted or a hard Cancel arrived meanwhile — the cancelled state
+  /// then stands. An armed deadline survives and re-latches on its own.
+  bool ResetPreempted();
 
   /// Arms a deadline `ms` milliseconds from now on the steady clock.
   /// ms <= 0 arms an already-expired deadline: the query fails with
@@ -76,11 +91,16 @@ class CancellationToken {
 
   mutable std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> deadline_ns_{kNoDeadline};
-  // Guards code_/reason_ while latching; read-side only runs after the
-  // acquire load of cancelled_ observes true.
+  // Guards code_/reason_/preempted_/hard_cancel_ while latching; read-side
+  // only runs after the acquire load of cancelled_ observes true.
   mutable std::mutex mutex_;
   mutable StatusCode code_ = StatusCode::kCancelled;
   mutable std::string reason_;
+  /// Latched by Preempt (clearable); cleared by ResetPreempted.
+  bool preempted_ = false;
+  /// Set by Cancel even when the token is already latched, so a user
+  /// cancellation during a preemption unwind sticks.
+  bool hard_cancel_ = false;
 };
 
 }  // namespace xprs

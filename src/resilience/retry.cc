@@ -25,9 +25,12 @@ bool IsRetryableStatus(const Status& status) {
 
 Status BackoffSleep(const RetryPolicy& policy, int failures,
                     const CancellationToken* token) {
-  const int total_ms = policy.BackoffMs(failures);
-  const auto until = std::chrono::steady_clock::now() +
-                     std::chrono::milliseconds(total_ms);
+  return BackoffSleepMs(policy.BackoffMs(failures), token);
+}
+
+Status BackoffSleepMs(int ms, const CancellationToken* token) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
   // Sleep in 1 ms slices so cancellation cuts the wait short.
   while (std::chrono::steady_clock::now() < until) {
     if (token != nullptr) XPRS_RETURN_IF_ERROR(token->Check());
@@ -35,6 +38,16 @@ Status BackoffSleep(const RetryPolicy& policy, int failures,
   }
   if (token != nullptr) XPRS_RETURN_IF_ERROR(token->Check());
   return Status::OK();
+}
+
+int JitteredBackoffMs(const RetryPolicy& policy, int failures, Rng* rng) {
+  const int base = policy.BackoffMs(failures);
+  if (rng == nullptr || base <= 0) return base;
+  // Uniform in [base/2, base + base/2]: full-jitter spreads a retry storm
+  // over one backoff period without ever collapsing the wait to zero.
+  const int half = std::max(1, base / 2);
+  return half + static_cast<int>(rng->NextUint64(
+                    static_cast<uint64_t>(base) + 1));
 }
 
 void EmitResilienceEvent(

@@ -27,6 +27,7 @@
 
 #include "obs/obs.h"
 #include "resilience/cancellation.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace xprs {
@@ -54,6 +55,15 @@ bool IsRetryableStatus(const Status& status);
 /// token's terminal status if it fired, OK otherwise.
 Status BackoffSleep(const RetryPolicy& policy, int failures,
                     const CancellationToken* token);
+
+/// Sleeps `ms` milliseconds in 1 ms cancellation-polling slices (the
+/// primitive under BackoffSleep, exposed for jittered ladders).
+Status BackoffSleepMs(int ms, const CancellationToken* token);
+
+/// The policy's backoff for retry `failures` with ±50% decorrelation
+/// jitter from `rng`, so a fleet of queries retrying the same fault does
+/// not thunder back in lockstep. `rng` must not be shared across threads.
+int JitteredBackoffMs(const RetryPolicy& policy, int failures, Rng* rng);
 
 /// Increments counter `resilience.<kind>` and emits an instant trace event
 /// of the same name (category "resilience", `track` as the tid). The

@@ -145,6 +145,17 @@ void QueryLifecycle::OnExecEnd() {
   drain_.set_start(exec_end_seconds_);
 }
 
+void QueryLifecycle::OnPreempted() {
+  const double now = SpanNowSeconds();
+  drain_.AddArg("preempted", true);
+  drain_.EndAt(now);
+  queue_wait_ = Span(obs_.trace, "queue_wait", "serve", query_id_, root_.id());
+  queue_wait_.set_start(now);
+  // The re-run drives OnExecStart again; until then the query is queued,
+  // so a sweep (shutdown, deadline) closes queue_wait as never-ran.
+  executed_ = false;
+}
+
 void QueryLifecycle::OnResolved(const Status& status) {
   Finish(status, /*rejected=*/false);
 }

@@ -142,6 +142,11 @@ class QueryLifecycle {
   void AttachProfile(std::shared_ptr<const QueryProfile> profile);
   /// Execution ends, drain begins (shared boundary).
   void OnExecEnd();
+  /// The scheduler evicted the query for memory reclaim and requeued it:
+  /// closes the just-opened drain span with a `preempted` argument and
+  /// reopens a queue-wait phase. OnGrant/OnExecStart then fire again for
+  /// the re-run, so the children still tile the root.
+  void OnPreempted();
   /// Terminal: closes whatever phase is open plus the root, observes
   /// serve.total_seconds, and appends a slow-log entry when warranted.
   void OnResolved(const Status& status);

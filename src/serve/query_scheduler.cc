@@ -49,6 +49,7 @@ QueryScheduler::QueryScheduler(const ServeOptions& options)
       io_budget_(options.io_rate_budget > 0
                      ? options.io_rate_budget
                      : options.machine.nominal_bandwidth()),
+      overload_(options.overload, options.obs),
       paused_(options.start_paused) {
   ResolveMetrics();
   int workers = std::max(1, options_.max_concurrent);
@@ -72,6 +73,8 @@ void QueryScheduler::ResolveMetrics() {
   m_failed_ = m->counter("serve.failed");
   m_degraded_ = m->counter("serve.degraded");
   m_cancelled_ = m->counter("serve.cancelled");
+  m_rejected_shed_ = m->counter("serve.rejected.shed");
+  m_preempted_ = m->counter("serve.preempted");
   g_queued_ = m->gauge("serve.queued");
   g_running_ = m->gauge("serve.running");
   g_peak_running_ = m->gauge("serve.peak_running");
@@ -121,6 +124,15 @@ StatusOr<ServeTicket> QueryScheduler::Submit(ServeRequest request) {
       return token;
     }
   }
+  // Overload shedding rejects low-priority work before it ever queues;
+  // the controller also shrinks the effective queue while shedding so a
+  // deep backlog drains instead of growing. A queue already at capacity
+  // reports the queue-full status (the more actionable signal for the
+  // client) even when the controller is simultaneously shedding.
+  overload_.Evaluate(SignalsLocked());
+  const size_t queue_cap = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(options_.max_queue_depth) *
+                             overload_.queue_scale()));
   if (queue_.size() >= options_.max_queue_depth) {
     if (m_rejected_queue_full_ != nullptr) m_rejected_queue_full_->Increment();
     EmitResilienceEvent(options_.obs, "serve.reject_queue_full", -1.0,
@@ -131,6 +143,23 @@ StatusOr<ServeTicket> QueryScheduler::Submit(ServeRequest request) {
                   static_cast<int>(options_.max_queue_depth)));
     if (request.lifecycle != nullptr) request.lifecycle->OnRejected(status);
     return status;
+  }
+  Status shed = overload_.AdmissionCheck(request.priority);
+  if (shed.ok() && queue_.size() >= queue_cap) {
+    // The overload-scaled cap (never the configured one) rejects as a
+    // shed: the queue has room in steady state but the controller is
+    // draining backlog.
+    shed = Status::ResourceExhausted(StrFormat(
+        "%s: queue scaled to %d while shedding", OverloadController::kShedPrefix,
+        static_cast<int>(queue_cap)));
+    overload_.CountShed();
+  }
+  if (!shed.ok()) {
+    if (m_rejected_shed_ != nullptr) m_rejected_shed_->Increment();
+    EmitResilienceEvent(options_.obs, "serve.reject_shed", -1.0,
+                        request.session_id);
+    if (request.lifecycle != nullptr) request.lifecycle->OnRejected(shed);
+    return shed;
   }
 
   auto entry = std::make_unique<Entry>();
@@ -214,6 +243,21 @@ std::vector<int64_t> QueryScheduler::dispatch_order() const {
   return dispatch_order_;
 }
 
+uint64_t QueryScheduler::preemptions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return preemptions_;
+}
+
+OverloadSignals QueryScheduler::SignalsLocked() const {
+  OverloadSignals signals;
+  if (options_.max_queue_depth > 0)
+    signals.queue_frac = static_cast<double>(queue_.size()) /
+                         static_cast<double>(options_.max_queue_depth);
+  if (options_.memory_pages_budget > 0)
+    signals.mem_frac = mem_in_use_ / options_.memory_pages_budget;
+  return signals;
+}
+
 // --- completion ------------------------------------------------------------
 
 void QueryScheduler::CompleteLocked(std::unique_ptr<Entry> entry,
@@ -228,6 +272,25 @@ void QueryScheduler::CompleteLocked(std::unique_ptr<Entry> entry,
       if (m_cancelled_ != nullptr) m_cancelled_->Increment();
     } else if (m_failed_ != nullptr) {
       m_failed_->Increment();
+    }
+  }
+  // Feed the health state machine. Cancellations are the user's doing and
+  // say nothing about machine health; deadline misses under load do, and
+  // count as failures. Breaker fast-fails count too: an open breaker is
+  // driven by its own probes (not by admission decisions), so a query the
+  // breaker refused is real evidence the domain is still sick — without
+  // it the controller goes blind exactly when the breaker is doing its
+  // job. Admission sheds never reach here, so shedding cannot feed
+  // itself.
+  if (!shutdown_) {
+    StatusCode code = result.ok() ? StatusCode::kOk : result.status().code();
+    if (code != StatusCode::kCancelled) {
+      const double total_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        entry->enqueued)
+              .count();
+      overload_.RecordOutcome(!result.ok(), total_seconds);
+      overload_.Evaluate(SignalsLocked());
     }
   }
   PublishGaugesLocked();
@@ -351,16 +414,21 @@ int QueryScheduler::PickNextLocked(ExecGrant* grant) {
     return ea.id < eb.id;
   });
 
+  // The overload controller shrinks the effective budgets while unhealthy.
+  const double mem_budget =
+      options_.memory_pages_budget * overload_.mem_scale();
+  const double io_budget = io_budget_ * overload_.io_scale();
+
   for (size_t idx : order) {
     Entry& entry = *queue_[idx];
     const TaskProfile& est = entry.request.estimate;
     bool degrade = false;
 
     // Memory admission against the global page budget.
-    if (options_.memory_pages_budget > 0 && est.memory_pages > 0) {
-      double remaining = options_.memory_pages_budget - mem_in_use_;
+    if (mem_budget > 0 && est.memory_pages > 0) {
+      double remaining = mem_budget - mem_in_use_;
       if (est.memory_pages > remaining) {
-        if (est.memory_pages > options_.memory_pages_budget) {
+        if (est.memory_pages > mem_budget) {
           // Never fits even on an idle system: degrade immediately.
           degrade = true;
         } else if (!entry.mem_blocked) {
@@ -370,6 +438,13 @@ int QueryScheduler::PickNextLocked(ExecGrant* grant) {
         } else if (std::chrono::duration<double>(now -
                                                  entry.mem_blocked_since)
                        .count() >= options_.degrade_wait_seconds) {
+          // The wait expired. Emergency reclaim first: a strictly
+          // higher-priority waiter may evict the lowest-priority running
+          // query instead of degrading itself to the spill path.
+          if (TryPreemptLocked(entry)) {
+            entry.mem_blocked_since = now;  // wait for the unwind
+            continue;
+          }
           degrade = true;
         } else {
           continue;
@@ -381,7 +456,7 @@ int QueryScheduler::PickNextLocked(ExecGrant* grant) {
 
     // Disk admission: an io-bound query joining a saturated array would
     // only add seek interference — hold it until bandwidth frees up.
-    if (!degrade && !running_.empty() && io_in_use_ >= io_budget_ &&
+    if (!degrade && !running_.empty() && io_in_use_ >= io_budget &&
         IsIoBound(est, options_.machine)) {
       continue;
     }
@@ -401,6 +476,51 @@ int QueryScheduler::PickNextLocked(ExecGrant* grant) {
   return -1;
 }
 
+bool QueryScheduler::TryPreemptLocked(const Entry& cand) {
+  if (!options_.enable_preemption) return false;
+  // One reclaim in flight at a time: wait for the victim to unwind and
+  // release its pages before deciding whether another eviction is needed.
+  for (const auto& [id, info] : running_)
+    if (info.preempted) return false;
+
+  // Victim: the lowest-priority running query holding pages, strictly
+  // below the candidate's priority, cancellable, and not already evicted
+  // past its preemption allowance.
+  int64_t victim_id = -1;
+  const RunningInfo* victim = nullptr;
+  for (const auto& [id, info] : running_) {
+    if (info.cancel == nullptr || info.memory_pages <= 0) continue;
+    if (info.priority >= cand.request.priority) continue;
+    if (info.preempt_count >= options_.max_preemptions) continue;
+    if (victim == nullptr || info.priority < victim->priority) {
+      victim_id = id;
+      victim = &info;
+    }
+  }
+  if (victim == nullptr) return false;
+
+  const double mem_budget =
+      options_.memory_pages_budget * overload_.mem_scale();
+  double remaining = mem_budget - mem_in_use_;
+  // Only evict when the reclaim actually lets the candidate fit.
+  if (cand.request.estimate.memory_pages > remaining + victim->memory_pages)
+    return false;
+
+  if (!running_[victim_id].cancel->Preempt(
+          StrFormat("preempted for memory reclaim (query %lld)",
+                    static_cast<long long>(cand.id))))
+    return false;  // already terminal: the worker will reap it shortly
+  running_[victim_id].preempted = true;
+  ++preemptions_;
+  if (m_preempted_ != nullptr) m_preempted_->Increment();
+  EmitResilienceEvent(
+      options_.obs, "serve.preempt", -1.0, victim_id,
+      {{"victim", victim_id},
+       {"for", cand.id},
+       {"victim_pages", running_[victim_id].memory_pages}});
+  return true;
+}
+
 // --- dispatcher / workers --------------------------------------------------
 
 void QueryScheduler::DispatcherLoop() {
@@ -411,9 +531,14 @@ void QueryScheduler::DispatcherLoop() {
     if (shutdown_) return;
 
     bool dispatched = false;
+    // While degraded/shedding the controller shrinks the effective
+    // concurrency so the machine drains instead of thrashing.
+    const int effective_concurrent = std::max(
+        1, static_cast<int>(std::lround(options_.max_concurrent *
+                                        overload_.cpu_scale())));
     while (!paused_ && !queue_.empty() &&
            running_.size() + handoff_.size() <
-               static_cast<size_t>(std::max(1, options_.max_concurrent))) {
+               static_cast<size_t>(effective_concurrent)) {
       ExecGrant grant;
       int idx = PickNextLocked(&grant);
       if (idx < 0) break;
@@ -427,6 +552,9 @@ void QueryScheduler::DispatcherLoop() {
       info.parallelism = grant.parallelism;
       info.memory_pages = grant.memory_pages;
       info.io_rate = GrantedIoRate(est, grant.parallelism);
+      info.cancel = entry->request.cancel;
+      info.priority = entry->request.priority;
+      info.preempt_count = entry->preemptions;
       cpus_in_use_ += grant.parallelism;
       mem_in_use_ += info.memory_pages;
       io_in_use_ += info.io_rate;
@@ -518,15 +646,38 @@ void QueryScheduler::WorkerLoop() {
     lock.lock();
 
     --n_executing_;
+    bool was_preempted = false;
     auto it = running_.find(entry->id);
     if (it != running_.end()) {
       cpus_in_use_ -= it->second.parallelism;
       mem_in_use_ -= it->second.memory_pages;
       io_in_use_ -= it->second.io_rate;
+      was_preempted = it->second.preempted;
       running_.erase(it);
     }
     if (h_run_seconds_ != nullptr) h_run_seconds_->Observe(run_seconds);
-    CompleteLocked(std::move(entry), std::move(result), lock);
+
+    // A query evicted for memory reclaim unwound with Cancelled; if no
+    // real cancellation raced in, re-arm its token and put it back in the
+    // queue instead of failing it. A preempted query that managed to
+    // finish anyway just completes.
+    const bool requeue =
+        was_preempted && !shutdown_ && !result.ok() &&
+        result.status().code() == StatusCode::kCancelled &&
+        entry->request.cancel != nullptr &&
+        entry->request.cancel->ResetPreempted();
+    if (requeue) {
+      ++entry->preemptions;
+      entry->mem_blocked = false;
+      if (entry->request.lifecycle != nullptr)
+        entry->request.lifecycle->OnPreempted();
+      EmitResilienceEvent(options_.obs, "serve.requeued", -1.0, entry->id,
+                          {{"preemptions", entry->preemptions}});
+      queue_.push_back(std::move(entry));
+      PublishGaugesLocked();
+    } else {
+      CompleteLocked(std::move(entry), std::move(result), lock);
+    }
     dispatch_cv_.notify_all();
   }
 }

@@ -54,6 +54,7 @@
 #include "obs/obs.h"
 #include "resilience/cancellation.h"
 #include "serve/lifecycle.h"
+#include "serve/overload.h"
 #include "sched/balance.h"
 #include "sched/machine.h"
 #include "sched/task.h"
@@ -170,6 +171,16 @@ struct ServeOptions {
   /// Start with dispatch paused; queries queue until Resume(). Tests use
   /// this to fill the queue deterministically.
   bool start_paused = false;
+  /// Overload-control knobs (see serve/overload.h). While the controller
+  /// is degraded/shedding the effective cpu/io/memory/queue budgets shrink
+  /// by its scale factors and low-priority submissions are shed.
+  OverloadOptions overload;
+  /// Emergency memory reclaim: when a strictly higher-priority query has
+  /// waited past degrade_wait_seconds for pages, preempt (cancel + requeue)
+  /// the lowest-priority running query instead of degrading the waiter.
+  bool enable_preemption = true;
+  /// Times one query may be preempted before it stops being a victim.
+  int max_preemptions = 1;
   Observability obs;
 };
 
@@ -208,6 +219,11 @@ class QueryScheduler {
   int peak_running() const;
   /// Query ids in the order the dispatcher started them.
   std::vector<int64_t> dispatch_order() const;
+  /// The health state machine driving admission under overload.
+  OverloadController& overload() { return overload_; }
+  const OverloadController& overload() const { return overload_; }
+  /// Queries preempted (cancelled + requeued) for memory reclaim so far.
+  uint64_t preemptions() const;
 
  private:
   struct Entry {
@@ -218,6 +234,8 @@ class QueryScheduler {
     /// Set while the entry is parked waiting for memory.
     bool mem_blocked = false;
     std::chrono::steady_clock::time_point mem_blocked_since;
+    /// Times this query has been preempted and requeued.
+    int preemptions = 0;
   };
 
   struct RunningInfo {
@@ -225,6 +243,12 @@ class QueryScheduler {
     int parallelism = 1;
     double memory_pages = 0.0;
     double io_rate = 0.0;
+    /// For victim selection during emergency memory reclaim.
+    CancellationToken* cancel = nullptr;
+    int priority = 0;
+    int preempt_count = 0;
+    /// Set once this query has been asked to unwind for reclaim.
+    bool preempted = false;
   };
 
   void DispatcherLoop();
@@ -239,6 +263,12 @@ class QueryScheduler {
   /// Picks the next admissible entry and computes its grant. Returns the
   /// queue index or -1; fills *grant.
   int PickNextLocked(ExecGrant* grant);
+  /// Emergency memory reclaim: asks the lowest-priority running query
+  /// (strictly below `cand`'s priority) to unwind so `cand` can fit.
+  /// Returns true when a victim was preempted.
+  bool TryPreemptLocked(const Entry& cand);
+  /// Instantaneous pressure signals for the overload controller.
+  OverloadSignals SignalsLocked() const;
   /// Parallelism for `cand` against the currently running aggregate via
   /// the §2.3 balance point.
   int GrantParallelismLocked(const TaskProfile& cand) const;
@@ -249,6 +279,7 @@ class QueryScheduler {
 
   const ServeOptions options_;
   const double io_budget_;
+  OverloadController overload_;
 
   mutable std::mutex mutex_;
   std::condition_variable dispatch_cv_;  // dispatcher wakeups
@@ -281,6 +312,7 @@ class QueryScheduler {
   /// those callbacks have finished.
   int n_completing_ = 0;
   int peak_running_ = 0;
+  uint64_t preemptions_ = 0;
   std::vector<int64_t> dispatch_order_;
 
   // Metrics (resolved once; null when no registry attached).
@@ -293,6 +325,8 @@ class QueryScheduler {
   Counter* m_failed_ = nullptr;
   Counter* m_degraded_ = nullptr;
   Counter* m_cancelled_ = nullptr;
+  Counter* m_rejected_shed_ = nullptr;
+  Counter* m_preempted_ = nullptr;
   Gauge* g_queued_ = nullptr;
   Gauge* g_running_ = nullptr;
   Gauge* g_peak_running_ = nullptr;

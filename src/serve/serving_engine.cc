@@ -51,12 +51,23 @@ ServingEngine::ServingEngine(Catalog* catalog, const MachineConfig& machine,
       engine_(catalog, machine, model),
       spill_array_(machine.num_disks, DiskMode::kInstant),
       slow_log_(options_.slow_query_seconds, options_.slow_query_top_k),
+      poison_log_(options_.poison_failures, options_.serve.obs),
+      read_breaker_("storage_read", options_.breaker, options_.serve.obs),
+      spill_breaker_("spill_io", options_.breaker, options_.serve.obs),
       scheduler_(options_.serve) {
   if (options_.buffer_pool_frames > 0) {
     pool_ = std::make_unique<BufferPool>(catalog->disk_array(),
                                          options_.buffer_pool_frames);
     if (options_.soft_pin_frames > 0)
       pool_->SetSoftPinLimit(options_.soft_pin_frames);
+    // Buffer-pool pressure feeds the overload controller next to the
+    // scheduler's own page accounting.
+    scheduler_.overload().SetMemoryProbe([pool = pool_.get()] {
+      const size_t frames = pool->num_frames();
+      return frames > 0 ? static_cast<double>(pool->PinnedFrames()) /
+                              static_cast<double>(frames)
+                        : 0.0;
+    });
   }
 }
 
@@ -109,6 +120,14 @@ StatusOr<SubmittedQuery> ServingEngine::SubmitQuery(
         slow_log_.enabled() ? &slow_log_ : nullptr);
   }
 
+  // Quarantined statements fast-reject before the planner even sees them:
+  // "never re-admitted" means no parse, no estimate, no queue slot.
+  Status poison = poison_log_.RejectIfQuarantined(sql);
+  if (!poison.ok()) {
+    if (lifecycle != nullptr) lifecycle->OnRejected(poison);
+    return poison;
+  }
+
   // Parse, bind and cost synchronously so malformed SQL fails here, not on
   // a worker thread; the estimate drives admission.
   StatusOr<TaskProfile> estimate_or =
@@ -152,31 +171,93 @@ StatusOr<SubmittedQuery> ServingEngine::SubmitQuery(
   const bool allow_parallel = options.allow_parallel;
   const TreeShape shape = options.shape;
   const bool profiled = slow_log_.enabled();
-  request.job = [this, sql, token, shape, allow_parallel, lifecycle,
-                 profiled](const ExecGrant& grant) -> StatusOr<SqlResult> {
-    ExecContext ctx;
-    ctx.cancel = grant.cancel;
-    ctx.obs = options_.serve.obs;
-    if (pool_ != nullptr) {
-      ctx.pool = pool_.get();
-      ctx.fetch_retry = &options_.fetch_retry;
-    }
-    StatusOr<SqlResult> result = Status::Internal("query never ran");
-    if (grant.degrade_to_spill) {
-      ctx.spill.temp_array = &spill_array_;
-      ctx.spill.memory_tuples = options_.degrade_spill_tuples;
-      result = profiled ? engine_.ExplainAnalyze(sql, ctx, shape)
+  const uint64_t replay_seed = options.replay_seed;
+  const int64_t session_id = session->id();
+  request.job = [this, sql, token, shape, allow_parallel, lifecycle, profiled,
+                 replay_seed,
+                 session_id](const ExecGrant& grant) -> StatusOr<SqlResult> {
+    auto run_once = [&]() -> StatusOr<SqlResult> {
+      ExecContext ctx;
+      ctx.cancel = grant.cancel;
+      ctx.obs = options_.serve.obs;
+      if (pool_ != nullptr) {
+        ctx.pool = pool_.get();
+        ctx.fetch_retry = &options_.fetch_retry;
+      }
+      if (grant.degrade_to_spill) {
+        ctx.spill.temp_array = &spill_array_;
+        ctx.spill.memory_tuples = options_.degrade_spill_tuples;
+        return profiled ? engine_.ExplainAnalyze(sql, ctx, shape)
                         : engine_.Execute(sql, ctx, shape);
-    } else if (grant.parallelism > 1 && allow_parallel) {
-      MasterOptions master = options_.master;
-      master.ctx = ctx;
-      master.max_slots = grant.parallelism;
-      master.obs = options_.serve.obs;
-      result = profiled ? engine_.ExplainAnalyzeParallel(sql, master, shape)
+      }
+      if (grant.parallelism > 1 && allow_parallel) {
+        MasterOptions master = options_.master;
+        master.ctx = ctx;
+        master.max_slots = grant.parallelism;
+        master.obs = options_.serve.obs;
+        return profiled ? engine_.ExplainAnalyzeParallel(sql, master, shape)
                         : engine_.ExecuteParallel(sql, master, shape);
-    } else {
-      result = profiled ? engine_.ExplainAnalyze(sql, ctx, shape)
-                        : engine_.Execute(sql, ctx, shape);
+      }
+      return profiled ? engine_.ExplainAnalyze(sql, ctx, shape)
+                      : engine_.Execute(sql, ctx, shape);
+    };
+
+    // Whole-statement retry ladder above the per-fragment one. The breaker
+    // for the query's fault domain is consulted before every attempt: an
+    // open breaker fast-fails the statement instead of hammering the disk,
+    // and that fast-fail is never retried or poisoned.
+    CircuitBreaker& breaker =
+        grant.degrade_to_spill ? spill_breaker_ : read_breaker_;
+    Rng jitter(options_.retry_jitter_seed ^
+               static_cast<uint64_t>(grant.query_id));
+    StatusOr<SqlResult> result = Status::Internal("query never ran");
+    int attempts = 0;
+    for (int attempt = 1;; ++attempt) {
+      Status gate = breaker.Allow();
+      if (!gate.ok()) {
+        result = gate;
+        break;
+      }
+      ++attempts;
+      result = run_once();
+      if (result.ok()) {
+        breaker.RecordSuccess();
+        break;
+      }
+      const Status& st = result.status();
+      if (st.code() == StatusCode::kIoError) breaker.RecordFailure();
+      if (!IsRetryableStatus(st) ||
+          attempt >= options_.query_retry.max_attempts ||
+          (token != nullptr && token->cancelled()))
+        break;
+      EmitResilienceEvent(options_.serve.obs, "serve.query_retry", -1.0,
+                          grant.query_id,
+                          {{"attempt", attempt}, {"status", st.ToString()}});
+      Status slept = BackoffSleepMs(
+          JitteredBackoffMs(options_.query_retry, attempt, &jitter),
+          token.get());
+      if (!slept.ok()) {
+        result = slept;
+        break;
+      }
+    }
+
+    if (!result.ok()) {
+      // Terminal failure: record toward quarantine unless the failure was
+      // the user's (cancel/deadline) or shed work (open breaker) — those
+      // say nothing about the statement itself.
+      const Status& st = result.status();
+      if (st.code() != StatusCode::kCancelled &&
+          st.code() != StatusCode::kDeadlineExceeded &&
+          !CircuitBreaker::IsBreakerOpen(st)) {
+        GrantSnapshot snap;
+        snap.parallelism = grant.parallelism;
+        snap.memory_pages = grant.memory_pages;
+        snap.io_rate = grant.io_rate;
+        snap.degraded = grant.degrade_to_spill;
+        poison_log_.RecordFailure(sql, session_id, snap, st, attempts,
+                                  replay_seed);
+      }
     }
     if (lifecycle != nullptr && result.ok() && result->profile != nullptr)
       lifecycle->AttachProfile(result->profile);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "resilience/retry.h"
+#include "serve/overload.h"
 #include "serve/query_scheduler.h"
 #include "sql/engine.h"
 #include "storage/buffer_pool.h"
@@ -49,6 +50,10 @@ struct QueryOptions {
   /// when it grants parallelism > 1.
   bool allow_parallel = true;
   TreeShape shape = TreeShape::kBushy;
+  /// Caller-provided replay seed recorded on poison-log entries when the
+  /// statement ends up quarantined (0 = none). Workload drivers pass their
+  /// generator seed so a poisoned query is reproducible offline.
+  uint64_t replay_seed = 0;
   /// Optional completion hook, fired exactly once on a scheduler thread
   /// when the query resolves (any outcome), strictly before ticket
   /// waiters are released. Must not call back into the serving engine.
@@ -143,6 +148,20 @@ class ServingEngine {
     double slow_query_seconds = 0.0;
     /// How many operators a slow-query entry names.
     size_t slow_query_top_k = 3;
+    /// Whole-statement retry ladder above the per-fragment one: transient
+    /// (IoError / ResourceExhausted) failures of the entire query re-run
+    /// it on the worker with exponential backoff + jitter before the
+    /// failure surfaces or poisons the statement.
+    RetryPolicy query_retry;
+    /// Seed mixed with the query id for the retry jitter, so backoffs are
+    /// decorrelated across queries yet reproducible per run.
+    uint64_t retry_jitter_seed = 0x9E3779B97F4A7C15ULL;
+    /// Terminal whole-statement failures (across submissions) after which
+    /// a statement is quarantined and re-submissions fast-reject without
+    /// planning or execution. <= 0 disables the poison log.
+    int poison_failures = 3;
+    /// Per-fault-domain circuit breakers (storage reads, spill io).
+    CircuitBreakerOptions breaker;
   };
 
   ServingEngine(Catalog* catalog, const MachineConfig& machine,
@@ -169,6 +188,16 @@ class ServingEngine {
   SqlEngine& sql_engine() { return engine_; }
   /// Entries recorded for queries over Options::slow_query_seconds.
   SlowQueryLog& slow_query_log() { return slow_log_; }
+  /// Quarantine records for statements that kept failing (see overload.h).
+  PoisonLog& poison_log() { return poison_log_; }
+  /// Fault-domain breakers. Tests and the soak harness read their state.
+  CircuitBreaker& read_breaker() { return read_breaker_; }
+  CircuitBreaker& spill_breaker() { return spill_breaker_; }
+  /// The scheduler's health state machine.
+  OverloadController& overload() { return scheduler_.overload(); }
+  /// Temp array backing degraded (spilling) queries; the soak harness arms
+  /// fault injectors on it to exercise the spill-io breaker domain.
+  DiskArray* spill_array() { return &spill_array_; }
 
  private:
   friend class ServingSession;
@@ -183,6 +212,9 @@ class ServingEngine {
   DiskArray spill_array_;
   std::unique_ptr<BufferPool> pool_;
   SlowQueryLog slow_log_;
+  PoisonLog poison_log_;
+  CircuitBreaker read_breaker_;
+  CircuitBreaker spill_breaker_;
 
   mutable std::mutex sessions_mutex_;
   int64_t next_session_id_ = 1;

@@ -61,6 +61,15 @@ Status ScriptedFaultInjector::BeforeWrite(BlockId block, size_t* bytes) {
         StrFormat("injected fault: short write (%zu bytes) of block %u",
                   *bytes, block));
   }
+  if (script_.write_fault_rate > 0.0 &&
+      rng_.NextBool(script_.write_fault_rate)) {
+    ++injected_;
+    *bytes = script_.short_write_bytes;
+    return Status::IoError(
+        StrFormat("injected fault: random short write (%zu bytes) of "
+                  "block %u",
+                  *bytes, block));
+  }
   return Status::OK();
 }
 

@@ -69,6 +69,10 @@ class ScriptedFaultInjector : public FaultInjector {
     uint64_t short_nth_write = 0;
     /// Bytes actually "written" by the torn write.
     size_t short_write_bytes = 512;
+    /// Independent probability that any write is torn short (0 = off).
+    /// Seeded like read_fault_rate, so spill-path write storms replay
+    /// exactly. Fired writes land short_write_bytes of the page.
+    double write_fault_rate = 0.0;
     /// 1-based fetch ordinal that fails at the pool level (0 = off).
     uint64_t fail_nth_fetch = 0;
   };

@@ -36,6 +36,14 @@ Status HeapFile::Append(const Tuple& tuple) {
 Status HeapFile::Flush() {
   if (!tail_dirty_) return Status::OK();
   BlockId block = array_->AllocateBlock();
+  if (FaultInjector* injector = injector_.load(std::memory_order_acquire)) {
+    // Per-file write hook: fails cleanly before media (no torn prefix
+    // lands; the array's own injector models torn writes). Spill runs and
+    // Grace partitions flush through here, so the spill-io fault domain is
+    // exercisable per file.
+    size_t bytes = 0;
+    XPRS_RETURN_IF_ERROR(injector->BeforeWrite(block, &bytes));
+  }
   XPRS_RETURN_IF_ERROR(array_->WriteBlock(block, tail_));
   block_map_.push_back(block);
   tail_.Init();

@@ -68,10 +68,14 @@ class HeapFile {
   double TuplesPerPage() const;
 
   /// Installs (nullptr clears) a fault hook consulted by ReadPage — and
-  /// therefore ReadTuple — before the backing block read. The disk array's
-  /// own injector covers every relation on the array; this one targets a
-  /// single heap file so index-scan fetch paths are fault-testable in
-  /// isolation. Thread-safe; the injector must outlive its installation.
+  /// therefore ReadTuple — before the backing block read, and by Flush
+  /// before the backing block write (so spill runs and Grace partitions,
+  /// which append through heap files, are write-fault-testable per file;
+  /// a write fault fails before media, no torn prefix lands). The disk
+  /// array's own injector covers every relation on the array; this one
+  /// targets a single heap file so index-scan fetch and spill write paths
+  /// are fault-testable in isolation. Thread-safe; the injector must
+  /// outlive its installation.
   void SetFaultInjector(FaultInjector* injector) {
     injector_.store(injector, std::memory_order_release);
   }
